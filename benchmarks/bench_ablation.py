@@ -1,0 +1,94 @@
+"""Ablations — the design choices §IV calls out.
+
+- vision vs the simple random-kick strategy,
+- GetCost lookahead depth (fixed 1/2/3 vs the dynamic schedule),
+- Ludo's locator: original Othello vs the VisionEmbedder swap.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attach_result
+from repro.bench.experiments import run_experiment
+from repro.bench.workloads import make_pairs, try_fill_table
+from repro.core import EmbedderConfig, VisionEmbedder
+from repro.core.config import DepthPolicy
+
+
+@pytest.mark.parametrize("policy_name,policy", [
+    ("depth1", DepthPolicy(fixed=1)),
+    ("depth3", DepthPolicy(fixed=3)),
+    ("dynamic", DepthPolicy()),
+])
+def test_fill_by_depth_policy(benchmark, policy_name, policy):
+    keys, values = make_pairs(1024, 4, BENCH_SEED)
+    config = EmbedderConfig(
+        depth_policy=policy,
+        reconstruct_efficiency_limit=1.0,
+        max_reconstruct_attempts=8,
+    )
+
+    def fill():
+        # Theorem 1: depth 1 cannot converge at 1.7L (< 1.756), so its
+        # fills legitimately exhaust the reconstruction budget — that cost
+        # is exactly what this ablation measures.
+        table = VisionEmbedder(1024, 4, config=config, seed=BENCH_SEED)
+        filled = try_fill_table(table, keys, values)
+        return table, filled
+
+    table, filled = benchmark.pedantic(fill, rounds=3, iterations=1)
+    benchmark.extra_info["failure_events"] = table.failure_events
+    benchmark.extra_info["filled"] = filled
+
+
+def test_regenerate_ablation_strategy(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablation-strategy",),
+        kwargs={"scale": bench_scale}, rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    vision_rows = [r for r in result.rows if r[0] == "vision"]
+    assert all(r[2] == "yes" for r in vision_rows)
+
+
+def test_regenerate_ablation_depth(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablation-depth",),
+        kwargs={"scale": bench_scale}, rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    records = {r[0]: r for r in result.rows}
+    assert records["dynamic"][1] == "yes"
+
+
+def test_regenerate_ablation_arrays(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablation-arrays",),
+        kwargs={"scale": bench_scale}, rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    thresholds = {row[0]: row[1] for row in result.rows}
+    # Theorem 1 generalised: a 4th array raises the depth-1 threshold.
+    assert thresholds[4] > thresholds[3]
+
+
+def test_regenerate_ablation_construction(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablation-construction",),
+        kwargs={"scale": bench_scale}, rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    by_method = {row[0]: row for row in result.rows}
+    # The O(n) peel builds faster than n dynamic repair walks.
+    assert by_method["static"][1] > by_method["dynamic"][1]
+
+
+def test_regenerate_ablation_ludo(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablation-ludo",),
+        kwargs={"scale": bench_scale}, rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    by_locator = {r[0]: r for r in result.rows}
+    # The paper's proposed swap: smaller and at least as reliable.
+    assert by_locator["vision"][1] < by_locator["othello"][1]
+    assert by_locator["vision"][2] <= by_locator["othello"][2] + 0.5

@@ -1,0 +1,33 @@
+"""§VI-G — deletion performance: slow-space-only removal."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attach_result, filled_table
+from repro.bench.experiments import run_experiment
+
+
+def test_delete_throughput(benchmark):
+    """Drain-and-refill kernel: delete half the table each round."""
+    table, keys, values = filled_table("vision", 4096, 8)
+    half = keys[:2048].tolist()
+    half_values = values[:2048].tolist()
+
+    def drain_and_refill():
+        for key in half:
+            table.delete(key)
+        for key, value in zip(half, half_values):
+            table.insert(key, value)
+
+    benchmark.pedantic(drain_and_refill, rounds=3, iterations=1)
+    benchmark.extra_info["deletes_per_round"] = len(half)
+
+
+def test_regenerate_deletion(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("deletion",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    by_budget = [r[-1] for r in result.rows if r[0] == "vs space"]
+    # Nearly flat in the space budget (paper: 6.60 -> 6.24 over 1.7..2.3).
+    assert max(by_budget) < 2.0 * min(by_budget)

@@ -1,0 +1,25 @@
+"""Fig 10 — lookup-throughput stability across hash seeds."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attach_result, filled_table
+from repro.bench.experiments import run_experiment
+from repro.datasets import uniform_queries
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_lookup_per_seed(benchmark, seed):
+    table, keys, _values = filled_table("vision", 8192, 8, seed=seed)
+    queries = uniform_queries(keys, 100_000, BENCH_SEED)
+    benchmark(table.lookup_batch, queries)
+
+
+def test_regenerate_fig10(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig10",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    mops = result.column("lookup Mops")
+    # Stability: seed choice must not change throughput by integer factors.
+    assert max(mops) < 2.0 * min(mops)

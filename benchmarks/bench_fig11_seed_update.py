@@ -1,0 +1,31 @@
+"""Fig 11 — update-throughput stability across hash seeds."""
+
+import pytest
+
+from benchmarks.conftest import attach_result
+from repro.bench.experiments import run_experiment
+from repro.bench.workloads import fill_table, make_pairs
+from repro.factory import make_table
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_fill_per_seed(benchmark, seed):
+    keys, values = make_pairs(2048, 8, 1)
+
+    def fill():
+        table = make_table("vision", 2048, 8, seed=seed)
+        fill_table(table, keys, values)
+        return table
+
+    table = benchmark.pedantic(fill, rounds=3, iterations=1)
+    assert len(table) == 2048
+
+
+def test_regenerate_fig11(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig11",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    mops = result.column("update Mops")
+    assert max(mops) < 2.0 * min(mops)

@@ -1,0 +1,15 @@
+"""Fig 12 — minimum-space stability across hash seeds."""
+
+from benchmarks.conftest import attach_result
+from repro.bench.experiments import run_experiment
+
+
+def test_regenerate_fig12(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig12",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    costs = result.column("space cost (bits/value bit)")
+    # The paper: hash seed has nearly no impact on space efficiency.
+    assert max(costs) - min(costs) < 0.25

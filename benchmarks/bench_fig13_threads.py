@@ -1,0 +1,44 @@
+"""Fig 13 — multi-threaded lookup/update scaling."""
+
+import threading
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attach_result
+from repro.bench.experiments import run_experiment
+from repro.bench.workloads import make_pairs
+from repro.core import ConcurrentVisionEmbedder
+from repro.datasets import uniform_queries
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_threaded_batch_lookups(benchmark, threads):
+    n = 8192
+    keys, values = make_pairs(n, 8, BENCH_SEED)
+    table = ConcurrentVisionEmbedder(n, 8, seed=BENCH_SEED)
+    for key, value in zip(keys.tolist(), values.tolist()):
+        table.insert(key, value)
+    queries = uniform_queries(keys, 200_000, BENCH_SEED)
+    chunks = [queries[i::threads] for i in range(threads)]
+
+    def run_all():
+        workers = [
+            threading.Thread(target=table.lookup_batch, args=(chunk,))
+            for chunk in chunks
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+    benchmark.pedantic(run_all, rounds=3, iterations=1)
+    benchmark.extra_info["queries"] = len(queries)
+
+
+def test_regenerate_fig13(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig13",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    assert result.column("threads") == [1, 2, 4, 8]

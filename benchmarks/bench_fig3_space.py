@@ -1,0 +1,39 @@
+"""Fig 3 — minimum space cost: regenerate the searched minima.
+
+The benchmarked kernel is one full insertion at the paper's default 1.7L
+budget (the operation the bisection repeats); the regeneration prints the
+searched minimum space per algorithm.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attach_result
+from repro.bench.experiments import run_experiment
+from repro.bench.workloads import fill_table, make_pairs
+from repro.factory import make_table
+
+
+def test_vision_fill_at_default_budget(benchmark):
+    keys, values = make_pairs(2048, 1, BENCH_SEED)
+
+    def fill():
+        table = make_table("vision", 2048, 1, seed=BENCH_SEED)
+        fill_table(table, keys, values)
+        return table
+
+    table = benchmark.pedantic(fill, rounds=3, iterations=1)
+    assert len(table) == 2048
+    assert table.space_cost < 1.75
+
+
+def test_regenerate_fig3(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig3",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    rows = {(r[0], r[1], r[3]): r[4] for r in result.rows}
+    largest = max(r[1] for r in result.rows if r[0] == "vs n")
+    # Who wins: vision needs less minimum space than both two-hash schemes.
+    assert rows[("vs n", largest, "vision")] < rows[("vs n", largest, "othello")]
+    assert rows[("vs n", largest, "vision")] < rows[("vs n", largest, "color")]

@@ -1,0 +1,48 @@
+"""Fig 4 — update failure frequency: the paper's robustness headline.
+
+The benchmarked kernel is a full insertion including any failure-induced
+reconstructions, per algorithm; the regeneration prints failures per
+insertion across n, where vision must sit far below the two-hash schemes.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attach_result
+from repro.bench.experiments import run_experiment
+from repro.bench.workloads import make_pairs, try_fill_table
+from repro.factory import make_table
+
+ALGORITHMS = ("vision", "othello", "color", "ludo")
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_insertion_with_failures(benchmark, name):
+    keys, values = make_pairs(1024, 1, BENCH_SEED)
+
+    def fill():
+        table = make_table(name, 1024, 1, seed=BENCH_SEED)
+        try_fill_table(table, keys, values)
+        return table
+
+    table = benchmark.pedantic(fill, rounds=3, iterations=1)
+    benchmark.extra_info["failure_events"] = table.failure_events
+
+
+def test_regenerate_fig4(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig4",),
+        kwargs={"scale": max(0.5, bench_scale), "trials": 20},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    records = [dict(zip(result.columns, row)) for row in result.rows]
+    largest = max(r["n"] for r in records if r["algorithm"] == "vision")
+
+    def rate(algorithm):
+        return next(
+            r["failures/insertion"] for r in records
+            if r["algorithm"] == algorithm and r["n"] == largest
+        )
+
+    # Who wins, by what factor: vision below the two-hash average.
+    assert rate("vision") < (rate("othello") + rate("color")) / 2

@@ -1,0 +1,48 @@
+"""Fig 5 — update throughput including reconstruction time."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attach_result
+from repro.bench.experiments import run_experiment
+from repro.bench.workloads import fill_table, make_pairs
+from repro.factory import make_table
+
+DYNAMIC = ("vision", "othello", "color", "ludo")
+
+
+@pytest.mark.parametrize("name", DYNAMIC)
+def test_dynamic_insert_throughput(benchmark, name):
+    keys, values = make_pairs(2048, 8, BENCH_SEED)
+
+    def fill():
+        table = make_table(name, 2048, 8, seed=BENCH_SEED)
+        fill_table(table, keys, values)
+        return table
+
+    benchmark.pedantic(fill, rounds=3, iterations=1)
+    benchmark.extra_info["ops_per_round"] = 2048
+
+
+def test_bloomier_insert_is_linear_time(benchmark):
+    keys, values = make_pairs(2048, 8, BENCH_SEED)
+    table = make_table("bloomier", 2048, 8, seed=BENCH_SEED)
+    fill_table(table, keys, values)
+    extra = iter(range(1 << 50, (1 << 50) + 10_000))
+
+    def one_insert():
+        table.insert(next(extra), 1)
+
+    benchmark.pedantic(one_insert, rounds=10, iterations=1)
+
+
+def test_regenerate_fig5(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig5",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    records = [dict(zip(result.columns, row)) for row in result.rows]
+    vision = [r["Mops"] for r in records if r["algorithm"] == "vision"]
+    bloomier = [r["Mops"] for r in records if r["algorithm"] == "bloomier"]
+    # Bloomier's O(n) insert is orders of magnitude below the O(1) schemes.
+    assert max(bloomier) < min(vision) / 10

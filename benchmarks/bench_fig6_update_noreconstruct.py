@@ -1,0 +1,39 @@
+"""Fig 6 — update throughput with reconstruction time excluded.
+
+The paper's point: subtracting reconstruction time helps the two-hash
+schemes (they reconstruct often) far more than it helps VisionEmbedder.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_result
+from repro.bench.experiments import run_experiment
+
+
+def test_regenerate_fig6(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig6",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    assert all(row[-1] > 0 for row in result.rows)
+
+
+def test_fig6_vs_fig5_reconstruction_share(benchmark, bench_scale):
+    """Excluding reconstruction must never reduce reported throughput."""
+
+    def both():
+        with_reconstruct = run_experiment("fig5", scale=bench_scale, seed=3)
+        without = run_experiment("fig6", scale=bench_scale, seed=3)
+        return with_reconstruct, without
+
+    with_reconstruct, without = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    including = dict(
+        ((r[0], r[1], r[2], r[3]), r[4]) for r in with_reconstruct.rows
+    )
+    excluding = dict(((r[0], r[1], r[2], r[3]), r[4]) for r in without.rows)
+    # Same (sweep, n, L, algorithm) keys must exist in both runs; workloads
+    # are regenerated so allow timing jitter, but series must be complete.
+    assert set(including) == set(excluding)

@@ -1,0 +1,40 @@
+"""Fig 7 — update latency distribution (tail behaviour)."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attach_result
+from repro.bench.experiments import run_experiment
+from repro.bench.workloads import make_pairs
+from repro.factory import make_table
+
+DYNAMIC = ("vision", "othello", "color", "ludo")
+
+
+@pytest.mark.parametrize("name", DYNAMIC)
+def test_single_update_latency(benchmark, name):
+    """Per-op latency of one insert into a half-full table."""
+    n = 2048
+    keys, values = make_pairs(n, 8, BENCH_SEED)
+    table = make_table(name, n, 8, seed=BENCH_SEED)
+    for key, value in zip(keys[: n // 2].tolist(), values[: n // 2].tolist()):
+        table.insert(key, value)
+    pending = iter(
+        zip(keys[n // 2 :].tolist(), values[n // 2 :].tolist())
+    )
+
+    def one_insert():
+        key, value = next(pending)
+        table.insert(key, value)
+
+    benchmark.pedantic(one_insert, rounds=min(500, n // 2 - 8), iterations=1)
+
+
+def test_regenerate_fig7(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig7",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    for row in result.rows:
+        _algo, _ops, p50, p90, p99, p999, latency_max = row
+        assert p50 <= p90 <= p99 <= p999 <= latency_max

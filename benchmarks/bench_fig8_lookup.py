@@ -1,0 +1,53 @@
+"""Fig 8 — lookup throughput vs n and vs L.
+
+The benchmarked kernels are vectorised batch lookups; the L-sweep must
+show the two-hash schemes' bit-plane cost growing with L while
+VisionEmbedder stays flat.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attach_result, filled_table
+from repro.bench.experiments import run_experiment
+from repro.datasets import uniform_queries
+
+ALGORITHMS = ("vision", "othello", "color", "bloomier", "ludo")
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_batch_lookup_L1(benchmark, name):
+    table, keys, _values = filled_table(name, 8192, 1)
+    queries = uniform_queries(keys, 100_000, BENCH_SEED)
+    benchmark(table.lookup_batch, queries)
+    benchmark.extra_info["queries"] = len(queries)
+
+
+@pytest.mark.parametrize("name", ("vision", "othello"))
+@pytest.mark.parametrize("value_bits", (1, 10))
+def test_batch_lookup_L_extremes(benchmark, name, value_bits):
+    table, keys, _values = filled_table(name, 4096, value_bits)
+    queries = uniform_queries(keys, 100_000, BENCH_SEED)
+    benchmark(table.lookup_batch, queries)
+
+
+def test_regenerate_fig8(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig8",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    records = [dict(zip(result.columns, row)) for row in result.rows]
+
+    def series(name):
+        rows = [r for r in records if r["sweep"] == "vs L"
+                and r["algorithm"] == name]
+        rows.sort(key=lambda r: r["L"])
+        return [r["Mops"] for r in rows]
+
+    # Crossover shape: othello loses most of its L=1 speed by L=10,
+    # vision's spread stays comparatively small.
+    othello = series("othello")
+    vision = series("vision")
+    assert othello[-1] < 0.7 * othello[0]
+    assert vision[-1] > 0.5 * vision[0]

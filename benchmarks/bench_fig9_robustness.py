@@ -1,0 +1,50 @@
+"""Fig 9 — robustness across real-style and synthetic datasets."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attach_result
+from repro.bench.experiments import run_experiment
+from repro.core import VisionEmbedder
+from repro.datasets import load, zipf_queries
+
+
+@pytest.mark.parametrize("dataset_name", ["MACTable", "MachineLearning",
+                                          "DBLP"])
+def test_dataset_fill(benchmark, dataset_name):
+    scale = 1.0 if dataset_name == "MACTable" else 0.01
+    dataset = load(dataset_name, scale=scale)
+
+    def fill():
+        table = VisionEmbedder(dataset.size, dataset.value_bits,
+                               seed=BENCH_SEED)
+        for key, value in dataset.pairs():
+            table.insert(key, value)
+        return table
+
+    table = benchmark.pedantic(fill, rounds=3, iterations=1)
+    assert len(table) == dataset.size
+
+
+def test_zipf_query_throughput(benchmark):
+    dataset = load("MACTable")
+    table = VisionEmbedder(dataset.size, 1, seed=BENCH_SEED)
+    for key, value in dataset.pairs():
+        table.insert(key, value)
+    queries = zipf_queries(dataset.keys, 100_000, BENCH_SEED, alpha=1.0)
+    benchmark(table.lookup_batch, queries)
+
+
+def test_regenerate_fig9(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig9",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    records = [dict(zip(result.columns, row)) for row in result.rows]
+    # Real vs synthetic twin must be a wash: same space cost per pair.
+    by_name = {r["dataset"]: r for r in records}
+    for real in ("MACTable", "MachineLearning", "DBLP"):
+        twin = f"Syn{real}"
+        assert by_name[real]["space cost"] == pytest.approx(
+            by_name[twin]["space cost"], rel=0.02
+        )

@@ -1,0 +1,41 @@
+"""Key-stored vs value-only (extension of §I's motivating comparison)."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attach_result
+from repro.baselines.keystore import CuckooKeyValueTable
+from repro.bench.experiments import run_experiment
+from repro.bench.workloads import make_pairs
+
+
+def test_cuckoo_insert_throughput(benchmark):
+    keys, values = make_pairs(2048, 8, BENCH_SEED)
+
+    def fill():
+        table = CuckooKeyValueTable(2048, 8, seed=BENCH_SEED)
+        for key, value in zip(keys.tolist(), values.tolist()):
+            table.insert(key, value)
+        return table
+
+    table = benchmark.pedantic(fill, rounds=3, iterations=1)
+    assert len(table) == 2048
+
+
+def test_cuckoo_lookup_latency(benchmark):
+    keys, values = make_pairs(2048, 8, BENCH_SEED)
+    table = CuckooKeyValueTable(2048, 8, seed=BENCH_SEED)
+    for key, value in zip(keys.tolist(), values.tolist()):
+        table.insert(key, value)
+    probe = int(keys[99])
+    benchmark(table.lookup, probe)
+
+
+def test_regenerate_keystored_vs_vo(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("keystored-vs-vo",),
+        kwargs={"scale": bench_scale}, rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    mac_row = next(r for r in result.rows if r[0] == 48 and r[1] == 1)
+    # The headline gap: >10x for MAC-table-shaped pairs.
+    assert mac_row[5] > 10

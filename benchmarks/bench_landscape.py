@@ -1,0 +1,25 @@
+"""Space-constant ladder (extension): measured hypergraph thresholds."""
+
+import pytest
+
+from benchmarks.conftest import attach_result
+from repro.analysis.thresholds import peel_success
+from repro.bench.experiments import run_experiment
+
+
+def test_peel_kernel(benchmark):
+    """One peel attempt at Bloomier's operating point (succeeds)."""
+    ok = benchmark.pedantic(
+        peel_success, args=(1.23, 30_000, 1), rounds=3, iterations=1
+    )
+    assert ok
+
+
+def test_regenerate_landscape(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("landscape",),
+        kwargs={"scale": max(0.25, bench_scale)}, rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    ratios = result.column("m/n")
+    assert ratios == sorted(ratios)

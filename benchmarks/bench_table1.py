@@ -1,0 +1,26 @@
+"""Table I — algorithm comparison: benchmark each table's lookup path.
+
+Table I's lookup column says every compared algorithm answers in O(1); this
+target measures the actual constant for a single scalar lookup, and
+regenerates the analytic table.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_result, filled_table
+from repro.bench.experiments import run_experiment
+
+ALGORITHMS = ("vision", "othello", "color", "bloomier", "ludo")
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_scalar_lookup_constant(benchmark, name):
+    table, keys, _values = filled_table(name, 4096, 8)
+    probe = int(keys[1234])
+    benchmark(table.lookup, probe)
+
+
+def test_regenerate_table1(benchmark):
+    result = benchmark(run_experiment, "table1")
+    attach_result(benchmark, result)
+    assert len(result.rows) == 3

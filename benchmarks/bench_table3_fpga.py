@@ -1,0 +1,32 @@
+"""Table III — the FPGA case study: resources and the cycle model."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attach_result, filled_table
+from repro.bench.experiments import run_experiment
+from repro.fpga import LookupPipeline, estimate_resources
+
+
+def test_resource_estimation_speed(benchmark):
+    report = benchmark(estimate_resources, 1 << 19, 8)
+    assert report.block_rams == 385
+    assert report.frequency_mhz == pytest.approx(279.64, abs=0.01)
+
+
+def test_pipeline_simulation_rate(benchmark):
+    """Simulated cycles per second of the functional pipeline model."""
+    table, keys, _values = filled_table("vision", 2048, 8)
+    pipeline = LookupPipeline.from_embedder(table)
+    batch = keys[:1024].tolist()
+    result = benchmark(pipeline.run, batch)
+    assert len(result.values) == len(batch)
+
+
+def test_regenerate_table3(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("table3",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    totals = next(r for r in result.rows if r[0] == "Total")
+    assert totals[1] == 581 and totals[2] == 697 and totals[3] == 385

@@ -1,0 +1,33 @@
+"""§V — theory: threshold solving and failure-model evaluation speed."""
+
+import pytest
+
+from benchmarks.conftest import attach_result
+from repro.analysis import (
+    expected_min_load,
+    solve_lambda_threshold,
+    update_failure_probability,
+)
+from repro.bench.experiments import run_experiment
+
+
+def test_threshold_solver(benchmark):
+    lam = benchmark(solve_lambda_threshold)
+    assert lam == pytest.approx(1.709, abs=0.002)
+
+
+def test_expected_min_load_eval(benchmark):
+    value = benchmark(expected_min_load, 1.7)
+    assert 0.9 < value < 1.1
+
+
+def test_failure_model_eval(benchmark):
+    p = benchmark(update_failure_probability, 1_000_000)
+    assert p < 1e-4
+
+
+def test_regenerate_theory(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("theory",), rounds=1, iterations=1
+    )
+    attach_result(benchmark, result)

@@ -1,0 +1,34 @@
+"""YCSB mixed workloads (extension): per-workload kernels + full sweep."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attach_result
+from repro.bench.experiments import run_experiment
+from repro.bench.workloads import fill_table, make_pairs
+from repro.bench.ycsb import WORKLOADS, generate_operations, run_workload
+from repro.factory import make_table
+
+
+@pytest.mark.parametrize("workload", ["A", "B", "C", "F"])
+def test_vision_under_mixed_load(benchmark, workload):
+    keys, values = make_pairs(2048, 8, BENCH_SEED)
+    table = make_table("vision", 4096, 8, seed=BENCH_SEED)
+    fill_table(table, keys, values)
+    ops = generate_operations(WORKLOADS[workload], keys, 4096,
+                              seed=BENCH_SEED)
+
+    def run():
+        return run_workload(table, ops, workload)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["reads"] = result.reads
+    benchmark.extra_info["writes"] = result.writes
+
+
+def test_regenerate_ycsb(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("ycsb",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    attach_result(benchmark, result)
+    assert set(result.column("workload")) == {"A", "B", "C", "D", "F"}

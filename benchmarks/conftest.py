@@ -1,0 +1,59 @@
+"""Shared fixtures for the per-figure benchmark targets.
+
+Each ``bench_*.py`` file owns one table/figure of the paper:
+
+- a ``test_regenerate_*`` case runs the experiment driver at benchmark
+  scale and prints the regenerated rows (visible with ``-s``; always
+  attached to the pytest-benchmark ``extra_info``), and
+- ``test_*_throughput``-style cases put the figure's core operation under
+  pytest-benchmark so timings are tracked run over run.
+
+Workload sizes are deliberately modest (seconds per target, minutes for
+the whole directory); pass ``--bench-scale`` to grow them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import fill_table, make_pairs
+from repro.factory import make_table
+
+BENCH_SEED = 1
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        type=float,
+        default=0.25,
+        help="workload multiplier for experiment regeneration (default 0.25)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> float:
+    return request.config.getoption("--bench-scale")
+
+
+@pytest.fixture(scope="session")
+def workload_8k():
+    """8k random pairs with 8-bit values, shared across files."""
+    return make_pairs(8192, 8, BENCH_SEED)
+
+
+def filled_table(name: str, n: int, value_bits: int, seed: int = BENCH_SEED):
+    """Build and fill one table (bulk path for Bloomier)."""
+    keys, values = make_pairs(n, value_bits, seed)
+    table = make_table(name, n, value_bits, seed=seed)
+    fill_table(table, keys, values)
+    return table, keys, values
+
+
+def attach_result(benchmark, result) -> None:
+    """Record a regenerated experiment's rows in the benchmark report."""
+    benchmark.extra_info["experiment"] = result.experiment
+    benchmark.extra_info["rows"] = [list(map(str, row)) for row in result.rows]
+    print()
+    print(result.render())

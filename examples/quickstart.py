@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: the VisionEmbedder public API in two minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import EmbedderConfig, VisionEmbedder
+
+
+def main() -> None:
+    # A table provisioned for 10k pairs with 8-bit values. Fast-space cost
+    # is 1.7 bits per value bit (the paper's default budget).
+    table = VisionEmbedder(capacity=10_000, value_bits=8, seed=42)
+
+    # --- insert ---------------------------------------------------------
+    table.insert("alpha", 200)
+    table.insert(b"raw-bytes-key", 13)
+    table.insert(123456789, 77)
+    print(f"inserted {len(table)} pairs")
+
+    # --- lookup (fast space only, three reads + XOR) --------------------
+    print("alpha        ->", table.lookup("alpha"))
+    print("raw-bytes    ->", table.lookup(b"raw-bytes-key"))
+    print("123456789    ->", table.lookup(123456789))
+
+    # Value-only semantics: an alien key returns a *meaningless* value,
+    # never an error — the table cannot detect absence.
+    print("never-added  ->", table.lookup("never-added"), "(meaningless)")
+
+    # --- dynamic updates -------------------------------------------------
+    table.update("alpha", 201)
+    print("alpha updated ->", table.lookup("alpha"))
+
+    # --- delete (slow-space only; frees the pair's constraints) ---------
+    table.delete(b"raw-bytes-key")
+    print(f"after delete: {len(table)} pairs")
+
+    # --- bulk load + space report ----------------------------------------
+    rng = random.Random(7)
+    pairs = {rng.getrandbits(48): rng.getrandbits(8) for _ in range(9000)}
+    for key, value in pairs.items():
+        table.put(key, value)
+    ok = all(table.lookup(k) == v for k, v in pairs.items())
+    print(f"bulk load of {len(pairs)} pairs: all lookups correct = {ok}")
+    print(f"fast space: {table.space_bits} bits "
+          f"({table.space_cost:.2f} bits per value bit; "
+          f"space efficiency {table.space_efficiency:.2f})")
+    print(f"update failures so far: {table.stats.update_failures}, "
+          f"reconstructions: {table.stats.reconstructions}")
+
+    # --- tuning ----------------------------------------------------------
+    # A tighter budget (closer to the measured minimum 1.58) trades update
+    # speed; a looser one buys headroom. The depth schedule and repair
+    # budget are configurable too.
+    tight = VisionEmbedder(
+        1000, value_bits=4,
+        config=EmbedderConfig(space_factor=1.62,
+                              reconstruct_efficiency_limit=1.0),
+        seed=1,
+    )
+    for key, value in list(pairs.items())[:1000]:
+        tight.put(key, value & 0xF)
+    print(f"tight table at {tight.space_cost:.2f} bits/value-bit holds "
+          f"{len(tight)} pairs")
+
+
+if __name__ == "__main__":
+    main()

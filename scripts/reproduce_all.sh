@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate every paper artifact and the extension experiments, saving
+# text and JSON outputs under results/.
+#
+# Usage: scripts/reproduce_all.sh [SCALE]
+#   SCALE   workload multiplier (default 1.0; 0.25 for a quick pass)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1.0}"
+STAMP="$(date +%Y%m%d-%H%M%S)"
+OUTDIR="results"
+mkdir -p "$OUTDIR"
+
+echo "== repro: full experiment sweep (scale=$SCALE) =="
+python -m repro.bench --scale "$SCALE" \
+    --output "$OUTDIR/experiments-$STAMP.txt"
+python -m repro.bench --scale "$SCALE" --format json \
+    --output "$OUTDIR/experiments-$STAMP.json"
+
+echo
+echo "text:  $OUTDIR/experiments-$STAMP.txt"
+echo "json:  $OUTDIR/experiments-$STAMP.json"
+echo
+echo "To check a later run against this one:"
+echo "  python -m repro.bench --scale $SCALE --compare $OUTDIR/experiments-$STAMP.json"

@@ -1,0 +1,63 @@
+"""repro — a from-scratch reproduction of VisionEmbedder (ICDE 2024).
+
+VisionEmbedder is a *value-only* key-value table: it stores only an
+encoding of the values (1.6–1.7·L bits per pair with L-bit values), answers
+lookups in constant time with three hashed reads and an XOR, supports
+amortised-constant dynamic updates via the paper's "vision update"
+lookahead, and fails (needs reconstruction) with probability O(1/n) instead
+of the constant probability of prior dynamic schemes.
+
+Public surface:
+
+- :class:`VisionEmbedder` / :class:`ConcurrentVisionEmbedder` — the paper's
+  contribution (single-threaded and thread-safe).
+- :class:`Bloomier`, :class:`Othello`, :class:`ColoringEmbedder`,
+  :class:`Ludo` — the compared value-only baselines, all implementing the
+  same :class:`ValueOnlyTable` interface.
+- :func:`make_table` — build any of the above by name (the benchmark
+  harness's factory).
+- :mod:`repro.datasets`, :mod:`repro.analysis`, :mod:`repro.fpga`,
+  :mod:`repro.bench` — datasets, the paper's theory, the FPGA case-study
+  simulator, and the per-figure experiment drivers.
+"""
+
+from repro.core import (
+    ConcurrentVisionEmbedder,
+    DepthPolicy,
+    DuplicateKey,
+    EmbedderConfig,
+    KeyNotFound,
+    ReconstructionFailed,
+    ReproError,
+    SpaceExhausted,
+    UpdateFailure,
+    VisionEmbedder,
+)
+from repro.baselines import (Bloomier, ColoringEmbedder,
+                             CuckooKeyValueTable, Ludo, Othello)
+from repro.table import ValueOnlyTable
+from repro.factory import make_table, TABLE_NAMES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VisionEmbedder",
+    "ConcurrentVisionEmbedder",
+    "EmbedderConfig",
+    "DepthPolicy",
+    "Bloomier",
+    "Othello",
+    "ColoringEmbedder",
+    "Ludo",
+    "CuckooKeyValueTable",
+    "ValueOnlyTable",
+    "make_table",
+    "TABLE_NAMES",
+    "ReproError",
+    "UpdateFailure",
+    "SpaceExhausted",
+    "ReconstructionFailed",
+    "KeyNotFound",
+    "DuplicateKey",
+    "__version__",
+]

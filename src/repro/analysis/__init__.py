@@ -1,0 +1,36 @@
+"""The paper's theoretical analysis (§V), as executable numerics.
+
+- :mod:`repro.analysis.poisson` — Theorem 1: the space-efficiency threshold
+  below which the MaxDepth=1 update converges (λ' ≈ 1.709, (m/n)' ≈ 1.756).
+- :mod:`repro.analysis.failure` — Theorems 2–3: collision-error and
+  endless-loop probabilities, O(1/n) overall, plus the two-hash baselines'
+  constant failure probability for contrast.
+- :mod:`repro.analysis.space` — per-algorithm space models behind Table I
+  and the default budgets of §VI-A3.
+"""
+
+from repro.analysis.poisson import (
+    expected_min_load,
+    solve_lambda_threshold,
+    space_threshold,
+)
+from repro.analysis.failure import (
+    collision_error_probability,
+    endless_loop_probability,
+    update_failure_probability,
+    two_hash_failure_probability,
+)
+from repro.analysis.space import bits_per_value_bit, space_bits, table1_rows
+
+__all__ = [
+    "expected_min_load",
+    "solve_lambda_threshold",
+    "space_threshold",
+    "collision_error_probability",
+    "endless_loop_probability",
+    "update_failure_probability",
+    "two_hash_failure_probability",
+    "bits_per_value_bit",
+    "space_bits",
+    "table1_rows",
+]

@@ -1,0 +1,77 @@
+"""What alien keys actually read: the VO caveat, quantified.
+
+A value-only table answers alien keys with the XOR of three
+pseudo-random cells (§I footnote 1 calls it "a meaningless value"). That
+value is *not* uniform in general: a lightly loaded table is mostly zero
+cells, so aliens overwhelmingly read 0; only near full occupancy does the
+alien distribution flatten. Two practical consequences, both measurable
+here:
+
+- **Reserve value 0** (or any sentinel) for "invalid" where the
+  deployment can: at low-to-moderate load most alien lookups then
+  self-identify as misses for free.
+- The probability an alien reads a *specific* valid value (e.g. a live
+  shard id) is at most ~2^-L and lower when the table is sparse — useful
+  when sizing L for directory-style deployments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.table import ValueOnlyTable
+
+
+def alien_value_histogram(
+    table: ValueOnlyTable, num_probes: int = 50_000, seed: int = 1
+) -> Dict[int, float]:
+    """Empirical distribution of lookup values over random alien keys.
+
+    Probes are drawn from a key range disjoint from anything the tests or
+    datasets generate (above 2^62), so they are alien w.h.p.
+    """
+    rng = np.random.default_rng(seed)
+    probes = rng.integers(1 << 62, (1 << 63) - 1, size=num_probes,
+                          dtype=np.uint64)
+    values = table.lookup_batch(probes)
+    unique, counts = np.unique(values, return_counts=True)
+    return {
+        int(value): float(count) / num_probes
+        for value, count in zip(unique, counts)
+    }
+
+
+def alien_zero_fraction(
+    table: ValueOnlyTable, num_probes: int = 50_000, seed: int = 1
+) -> float:
+    """Fraction of alien lookups that read 0 (the free-sentinel effect)."""
+    histogram = alien_value_histogram(table, num_probes, seed)
+    return histogram.get(0, 0.0)
+
+
+def predicted_zero_fraction_sparse(n: int, m: int) -> float:
+    """First-order model of the alien-zero fraction for a *sparse* table.
+
+    An alien reads 0 if all three of its cells are zero — at least. With
+    dynamic insertion each pair typically writes ~1–1.5 cells, so the
+    fraction of non-zero cells is roughly min(1, c·n/m) with c ≈ 1.3; the
+    all-zero-probe probability is (1 − nonzero)^3. (A lower bound on the
+    true zero fraction: XOR cancellations add more zeros.)
+    """
+    nonzero = min(1.0, 1.3 * n / m)
+    return (1.0 - nonzero) ** 3
+
+
+def specific_value_collision_probability(
+    table: ValueOnlyTable, target: int, num_probes: int = 50_000,
+    seed: int = 1,
+) -> float:
+    """P(an alien key reads exactly ``target``), measured.
+
+    The number that matters when ``target`` is a live shard / port /
+    experiment id and a stray lookup would be acted upon.
+    """
+    histogram = alien_value_histogram(table, num_probes, seed)
+    return histogram.get(int(target), 0.0)

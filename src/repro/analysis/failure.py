@@ -1,0 +1,86 @@
+"""Theorems 2–3 (§V-B): the probability of update failure.
+
+Two failure modes exist:
+
+1. **Collision error** (Theorem 2) — two keys hash to the *same three
+   cells* but carry different values: the equation system is unsolvable.
+   A pair collides in all ``d`` arrays with probability ``(1/w)^d`` where
+   ``w = m/d`` is each array's width; summed over the ~n²/2 pairs and
+   discounted by the probability the values actually differ, this is
+   Θ(n² / m³) = O(1/n) when m ∝ n and d = 3.
+2. **Endless loop** (Theorem 3) — the repair walk cycles; the paper bounds
+   t consecutive updates' loop probability by z·t/n², i.e. O(1/n) per full
+   insertion pass (t = n).
+
+For contrast, :func:`two_hash_failure_probability` gives the same collision
+computation for the d = 2 schemes (Othello/Color): Θ(n²/m²) = Θ(1), the
+birthday-paradox constant the paper's Fig 4 shows — this gap *is* the
+paper's headline robustness claim.
+"""
+
+from __future__ import annotations
+
+
+def collision_error_probability(
+    n: int, m: int, num_arrays: int = 3, value_bits: int | None = None
+) -> float:
+    """Expected number of unsolvable full-cell collisions among n keys.
+
+    With each array of width ``w = m/num_arrays``, a specific pair of keys
+    shares all cells with probability ``w^-num_arrays``; a shared pair is
+    unsolvable only if the two values differ (factor ``1 - 2^-L`` for
+    uniform values). Returns the expectation, which for small values is
+    also the failure probability.
+    """
+    if n < 2:
+        return 0.0
+    width = m / num_arrays
+    if width <= 0:
+        raise ValueError("m must be positive")
+    pairs = n * (n - 1) / 2
+    p_same_cells = width ** (-num_arrays)
+    p_value_differs = 1.0 - 2.0 ** (-value_bits) if value_bits else 1.0
+    return pairs * p_same_cells * p_value_differs
+
+
+def endless_loop_probability(t: int, n: int, z: float = 1.0) -> float:
+    """Theorem 3's bound: P(endless loop within t updates) ≈ z·t/n²."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return min(1.0, z * t / (n * n))
+
+
+def update_failure_probability(
+    n: int,
+    m: int | None = None,
+    space_factor: float = 1.7,
+    value_bits: int | None = None,
+    z: float = 1.0,
+) -> float:
+    """VisionEmbedder's total failure probability over a full insertion.
+
+    Collision error plus endless loop over t = n updates; both O(1/n) when
+    m = space_factor · n, matching the paper's headline claim.
+    """
+    if m is None:
+        m = int(space_factor * n)
+    return collision_error_probability(
+        n, m, num_arrays=3, value_bits=value_bits
+    ) + endless_loop_probability(n, n, z)
+
+
+def two_hash_failure_probability(
+    n: int, m: int | None = None, space_factor: float = 2.2,
+    value_bits: int | None = None,
+) -> float:
+    """Expected unsolvable collisions for a two-hash scheme (Othello/Color).
+
+    The same computation as :func:`collision_error_probability` with
+    ``num_arrays = 2``: Θ(n²/m²), a constant in n when m ∝ n — the reason
+    two-hash dynamic VO tables reconstruct at a constant rate. (Cycle
+    inconsistencies add more failures; this collision term is already
+    enough to establish the constant.)
+    """
+    if m is None:
+        m = int(space_factor * n)
+    return collision_error_probability(n, m, num_arrays=2, value_bits=value_bits)

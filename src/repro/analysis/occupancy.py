@@ -1,0 +1,115 @@
+"""Load-dependent failure model: from Theorem 1's process to Fig 4's curve.
+
+Theorem 1 models one repair walk as a branching process with offspring
+distribution X_min (min of two Pois(λ) bucket loads, λ = 3n/m). This
+module pushes the model one step further than the paper's convergence
+criterion: the probability that a *single insert's* walk never terminates
+is the branching process's survival probability 1 − q, where the
+extinction probability q is the smallest fixed point of the offspring
+PGF. Integrating over an insertion pass (λ grows with every insert) and
+accounting for the retry feature (each randomised retry is approximately
+an independent draw) yields a predicted failures-per-full-insertion —
+the quantity Fig 4 measures.
+
+The model is deliberately first-order and errs conservative: the infinite
+branching process ignores that a real walk also terminates by absorbing
+into equations it already fixed (so single-attempt failures are
+over-predicted by roughly an order of magnitude), while retries are
+treated as independent (so the with-retries floor is under-predicted —
+the true floor is the Theorem 2 collision rate, which this model does not
+include; combine with :mod:`repro.analysis.failure` for totals). What the
+model gets right, and the tests assert, is the structure: exactly zero
+walk failures below Theorem 1's threshold, a sharp onset above it, and a
+geometric reduction per retry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.analysis.poisson import _poisson_tail
+
+
+def _offspring_pmf(lam: float, max_k: int = 60) -> List[float]:
+    """P(X_min = k) for X_min = min of two Pois(λ) draws."""
+    pmf = []
+    for k in range(max_k):
+        tail_k = _poisson_tail(lam, k) ** 2
+        tail_next = _poisson_tail(lam, k + 1) ** 2
+        pmf.append(max(0.0, tail_k - tail_next))
+    return pmf
+
+
+def extinction_probability(lam: float, iterations: int = 400) -> float:
+    """q: probability the repair branching process dies out.
+
+    The smallest fixed point of the offspring PGF G; found by iterating
+    q ← G(q) from 0. Equals 1 exactly when E[X_min] ≤ 1 (λ ≤ λ' ≈ 1.709).
+    """
+    if lam < 0:
+        raise ValueError("lambda must be non-negative")
+    pmf = _offspring_pmf(lam)
+    q = 0.0
+    for _ in range(iterations):
+        power = 1.0
+        value = 0.0
+        for probability in pmf:
+            value += probability * power
+            power *= q
+        if abs(value - q) < 1e-12:
+            q = value
+            break
+        q = value
+    return min(1.0, q)
+
+
+def walk_failure_probability(lam: float, attempts: int = 8) -> float:
+    """P(one insert's repair fails all search attempts) at load λ.
+
+    Survival probability of the branching process, raised to the number of
+    (approximately independent) randomised search attempts.
+    """
+    survival = 1.0 - extinction_probability(lam)
+    if survival <= 0.0:
+        return 0.0
+    return survival ** max(1, attempts)
+
+
+def expected_failures_per_fill(
+    n: int,
+    space_factor: float = 1.7,
+    attempts: int = 8,
+    resolution: int = 200,
+) -> float:
+    """Predicted failure events over one full insertion of n keys.
+
+    Sums the per-insert failure probability as the load sweeps 0 → n/m.
+    The result is dominated by the tail of the fill where λ crosses λ'.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    m = space_factor * n
+    total = 0.0
+    step = max(1, n // resolution)
+    for i in range(0, n, step):
+        lam = 3.0 * (i + 1) / m
+        total += walk_failure_probability(lam, attempts) * min(step, n - i)
+    return total
+
+
+def supercritical_fill_fraction(space_factor: float = 1.7) -> float:
+    """The fraction of a full insertion spent above λ' (walks can cycle).
+
+    Zero for budgets above the Theorem 1 threshold 1.756; about 3% of the
+    fill at the paper's default 1.7.
+    """
+    from repro.analysis.poisson import solve_lambda_threshold
+
+    lam_critical = solve_lambda_threshold()
+    lam_full = 3.0 / space_factor
+    if lam_full <= lam_critical:
+        return 0.0
+    # λ(i) = 3 i / (f n): crosses critical at i/n = f·λ'/3.
+    crossing = space_factor * lam_critical / 3.0
+    return max(0.0, 1.0 - crossing)

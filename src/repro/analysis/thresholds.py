@@ -1,0 +1,151 @@
+"""The space landscape: every constant in the paper's story, in one place.
+
+A 3-hash XOR table's achievable space sits between well-known thresholds
+of random 3-uniform hypergraphs. From tightest to loosest (bits of fast
+space per value bit, i.e. m/n):
+
+1.000  information-theoretic floor (the values themselves)
+~1.089 3-XORSAT satisfiability: below this a solution *exists* w.h.p.,
+       but only Gaussian elimination finds it
+~1.222 peelability (empty 2-core): the greedy peel — Bloomier's O(n)
+       construction — succeeds; the paper's 1.23
+1.58   VisionEmbedder's measured minimum (deep vision + retries)
+1.7    VisionEmbedder's default operating budget
+1.756  Theorem 1: depth-1 vision converges above this
+~2.0   two-hash acyclicity (m = 2n): idealised Othello/Color floor
+2.2    Coloring Embedder as shipped; 2.33 Othello as shipped
+~3.0   pure random-kick convergence (repair branching factor 3n/m < 1)
+
+The two hypergraph thresholds are *measured* here by running the actual
+peeling machinery over random instances (no closed-form constants are
+baked in, so the numbers validate the substrate too); the others come
+from the theory modules and the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.static_build import peel_order
+from repro.hashing import HashFamily
+
+
+def _random_instance(num_keys: int, width: int, seed: int) -> Dict[int, tuple]:
+    """n random keys hashed into a 3-segment table of 3·width cells."""
+    family = HashFamily(seed, [width] * 3)
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(0, 1 << 62, size=num_keys, dtype=np.uint64))
+    return {
+        int(key): tuple(enumerate(family.indices(int(key))))
+        for key in keys.tolist()
+    }
+
+
+def peel_success(ratio: float, num_cells: int, seed: int) -> bool:
+    """Does greedy peeling succeed at m/n = ratio, m = num_cells?"""
+    width = num_cells // 3
+    num_keys = int(num_cells / ratio)
+    return peel_order(_random_instance(num_keys, width, seed)) is not None
+
+
+def empirical_peel_threshold(
+    num_cells: int = 60_000, seed: int = 1, steps: int = 8
+) -> float:
+    """Bisect the m/n ratio where greedy peeling starts succeeding.
+
+    The asymptotic threshold for 3-segment tables is ≈ 1.222 (which is
+    where Bloomier's 1.23 sizing comes from); finite sizes land slightly
+    above it.
+    """
+    low, high = 1.05, 1.45  # fails at low, succeeds at high
+    for step in range(steps):
+        mid = (low + high) / 2
+        if peel_success(mid, num_cells, seed + step):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def two_core_balance(ratio: float, num_cells: int, seed: int) -> float:
+    """Edges minus vertices of the leftover 2-core, normalised by n.
+
+    Negative: the core (if any) is under-determined — the XOR system is
+    still solvable by Gaussian elimination. Positive: over-determined —
+    unsolvable w.h.p. The sign change locates the 3-XORSAT threshold
+    (asymptotically m/n ≈ 1.089).
+    """
+    width = num_cells // 3
+    num_keys = int(num_cells / ratio)
+    key_cells = _random_instance(num_keys, width, seed)
+
+    # Re-run the peel, but keep the leftover (the 2-core) when it stalls.
+    cell_members: Dict[tuple, set] = {}
+    for key, cells in key_cells.items():
+        for cell in cells:
+            cell_members.setdefault(cell, set()).add(key)
+    queue = [cell for cell, members in cell_members.items()
+             if len(members) == 1]
+    remaining = set(key_cells)
+    while queue:
+        cell = queue.pop()
+        members = cell_members.get(cell)
+        if not members or len(members) != 1:
+            continue
+        (key,) = members
+        remaining.discard(key)
+        for other in key_cells[key]:
+            cell_members[other].discard(key)
+            if len(cell_members[other]) == 1:
+                queue.append(other)
+    core_edges = len(remaining)
+    core_vertices = sum(
+        1 for members in cell_members.values() if len(members) >= 2
+    )
+    return (core_edges - core_vertices) / max(1, len(key_cells))
+
+
+def empirical_xorsat_threshold(
+    num_cells: int = 60_000, seed: int = 1, steps: int = 8
+) -> float:
+    """Bisect the m/n ratio where the 2-core flips over-determined.
+
+    Below the returned ratio the leftover core has more equations than
+    variables (unsolvable w.h.p.); above it, fewer (solvable). The
+    asymptotic value is ≈ 1.089.
+    """
+    low, high = 1.02, 1.20  # over-determined at low, under at high
+    for step in range(steps):
+        mid = (low + high) / 2
+        if two_core_balance(mid, num_cells, seed + step) <= 0:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def space_landscape(
+    num_cells: int = 60_000, seed: int = 1
+) -> List[Tuple[str, float, str]]:
+    """(name, m/n, provenance) rows for the full space-constant ladder."""
+    from repro.analysis.poisson import space_threshold
+    from repro.analysis.space import MEASURED_MINIMUM
+
+    return [
+        ("information floor", 1.0, "definition"),
+        ("3-XORSAT satisfiability", empirical_xorsat_threshold(num_cells, seed),
+         "measured here (asymptote 1.089)"),
+        ("peelability / Bloomier", empirical_peel_threshold(num_cells, seed),
+         "measured here (asymptote 1.222; paper sizes 1.23)"),
+        ("vision measured minimum", MEASURED_MINIMUM["vision"],
+         "paper Fig 3"),
+        ("vision default budget", 1.7, "paper §VI-A3"),
+        ("depth-1 vision convergence", space_threshold(),
+         "Theorem 1 (solved here)"),
+        ("two-hash acyclicity", 2.0, "random-graph criticality m=2n"),
+        ("Color as shipped", 2.2, "paper §VI-A3"),
+        ("Othello as shipped", 2.33, "paper §VI-A3"),
+        ("pure random kick", 3.0, "branching factor 3n/m < 1"),
+    ]

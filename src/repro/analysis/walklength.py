@@ -1,0 +1,88 @@
+"""Repair-walk length distribution: the theory behind Fig 7's tail.
+
+A repair walk is a branching process (offspring X_min, see
+:mod:`repro.analysis.poisson`); the number of repair steps an update takes
+is the process's *total progeny*. Its distribution follows the standard
+recursion for Galton–Watson total progeny:
+
+    P(T = 1) = p_0
+    P(T = t) = Σ_{k>=1} p_k · P(T_1 + … + T_k = t − 1)
+
+computed here by dynamic programming over the progeny PMF. This yields,
+per load λ:
+
+- the distribution of update costs (Fig 7's percentile curves),
+- P(T > budget) — the chance one walk exhausts the paper's 50-step budget,
+  connecting Theorem 1's convergence criterion to the concrete failure
+  knob, and validated against the embedder's measured ``repair_steps``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.occupancy import _offspring_pmf
+
+
+def total_progeny_pmf(lam: float, max_steps: int = 200) -> List[float]:
+    """P(T = t) for t = 0..max_steps (index 0 unused; walks take ≥1 step).
+
+    Probability mass above ``max_steps`` (including non-terminating walks
+    in the supercritical regime) is the complement of the returned sum.
+    """
+    if lam < 0:
+        raise ValueError("lambda must be non-negative")
+    if max_steps < 1:
+        raise ValueError("max_steps must be >= 1")
+    offspring = _offspring_pmf(lam)
+
+    # progeny[t] = P(total progeny of one individual = t), built by
+    # iterating the recursive equation to a fixed point: T = 1 + Σ T_i
+    # over X_min children. We iterate value updates max_steps times —
+    # enough because P(T = t) depends only on P(T = s < t).
+    progeny = [0.0] * (max_steps + 1)
+    for t in range(1, max_steps + 1):
+        if t == 1:
+            progeny[1] = offspring[0]
+            continue
+        # Sum over number of children k and compositions of t-1 into k
+        # progenies. Use convolution powers built incrementally.
+        total = 0.0
+        # conv_k = PMF of T_1 + ... + T_k restricted to <= t-1.
+        conv = [1.0] + [0.0] * (t - 1)  # k = 0: mass at 0
+        for k in range(1, len(offspring)):
+            # conv := conv * progeny (truncated at t-1)
+            fresh = [0.0] * t
+            for s in range(t):
+                if conv[s] == 0.0:
+                    continue
+                weight = conv[s]
+                limit = t - s
+                for u in range(1, min(limit, max_steps + 1)):
+                    if s + u <= t - 1:
+                        fresh[s + u] += weight * progeny[u]
+            conv = fresh
+            if offspring[k]:
+                total += offspring[k] * conv[t - 1]
+            if not any(conv):
+                break
+        progeny[t] = total
+    return progeny
+
+
+def walk_exceeds_budget_probability(
+    lam: float, budget: int = 50, max_steps: int = 200
+) -> float:
+    """P(one repair walk needs more than ``budget`` steps) at load λ."""
+    pmf = total_progeny_pmf(lam, max_steps=max(budget, 1))
+    return max(0.0, 1.0 - sum(pmf[1 : budget + 1]))
+
+
+def expected_walk_length(lam: float) -> float:
+    """E[T] = 1 / (1 − E[X_min]) for subcritical loads, ∞ otherwise."""
+    from repro.analysis.poisson import expected_min_load
+
+    mean_offspring = expected_min_load(lam)
+    if mean_offspring >= 1.0:
+        return float("inf")
+    return 1.0 / (1.0 - mean_offspring)

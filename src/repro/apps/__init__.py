@@ -1,0 +1,13 @@
+"""Application-layer wrappers over the VisionEmbedder core.
+
+The paper's §I lists, beyond lookup tables and shard directories, two more
+deployment patterns for value-only tables: 1-bit tables as *binary
+classifiers*, and SeqOthello-style indexes mapping genomic k-mers to the
+experiments containing them. This package provides both as small typed
+APIs.
+"""
+
+from repro.apps.classifier import BinaryClassifier
+from repro.apps.seqindex import KmerExperimentIndex
+
+__all__ = ["BinaryClassifier", "KmerExperimentIndex"]

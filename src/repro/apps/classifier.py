@@ -1,0 +1,74 @@
+"""A 1-bit value-only table as a binary classifier (§I "Others").
+
+With L = 1, a VO table stores a label per key at ~1.7 bits each — the
+MachineLearning dataset experiment in the paper's Fig 9 is exactly this.
+The classifier memorises the training set exactly; querying an item that
+was never added returns a meaningless bit (VO semantics), which is the
+acceptable failure mode when the query universe is known, e.g. replaying
+decisions for previously-seen entities.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import EmbedderConfig
+from repro.core.embedder import VisionEmbedder
+from repro.table import Key
+
+
+class BinaryClassifier:
+    """Exact-recall binary classifier over a closed key universe."""
+
+    def __init__(self, capacity: int, seed: int = 1,
+                 config: Optional[EmbedderConfig] = None):
+        self._table = VisionEmbedder(capacity, value_bits=1, seed=seed,
+                                     config=config)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._table
+
+    def add(self, key: Key, label: bool) -> None:
+        """Memorise one labelled item (insert-or-update)."""
+        self._table.put(key, int(label))
+
+    def add_many(self, items: Iterable[Tuple[Key, bool]]) -> None:
+        """Memorise a labelled training set."""
+        for key, label in items:
+            self.add(key, label)
+
+    def forget(self, key: Key) -> None:
+        """Drop one item from the training set."""
+        self._table.delete(key)
+
+    def predict(self, key: Key) -> bool:
+        """The stored label; meaningless for never-added keys."""
+        return bool(self._table.lookup(key))
+
+    def predict_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`predict` over uint64 keys."""
+        return self._table.lookup_batch(keys).astype(bool)
+
+    def accuracy(self, items: Iterable[Tuple[Key, bool]]) -> float:
+        """Fraction of labelled items predicted correctly (1.0 for items
+        in the training set — the VO guarantee)."""
+        total = 0
+        correct = 0
+        for key, label in items:
+            total += 1
+            correct += self.predict(key) == bool(label)
+        return correct / total if total else 1.0
+
+    @property
+    def space_bits(self) -> int:
+        """Fast-space footprint: ~1.7 bits per memorised item."""
+        return self._table.space_bits
+
+    @property
+    def bits_per_item(self) -> float:
+        return self._table.bits_per_key

@@ -1,0 +1,157 @@
+"""Alien-key guarding: a Bloom filter in front of a value-only table.
+
+The VO trade-off (§I, footnote 1) is that alien keys silently return
+meaningless values. Where that is unacceptable, the standard composition —
+used by ChainedFilter-style designs the paper cites as consumers of
+VisionEmbedder — is a membership filter in front of the VO table: lookups
+first ask the filter, and only filter-positives consult the value table.
+The result is None for true aliens except a tunable false-positive
+fraction, at a fast-space premium of ~1.44·log2(1/fpr) bits per key.
+
+The Bloom filter here is built from scratch on the same MurmurHash
+substrate as everything else.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.embedder import VisionEmbedder
+from repro.hashing import IndexHasher, key_to_u64
+from repro.table import Key, ValueOnlyTable
+
+
+class BloomFilter:
+    """A classic k-hash Bloom filter over a numpy bit array."""
+
+    def __init__(self, capacity: int, false_positive_rate: float = 0.01,
+                 seed: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ValueError("false_positive_rate must be in (0, 1)")
+        self.capacity = capacity
+        self.false_positive_rate = false_positive_rate
+        # m = -n ln p / (ln 2)^2, k = (m/n) ln 2 — the textbook optimum.
+        self.num_bits = max(
+            8, math.ceil(-capacity * math.log(false_positive_rate)
+                         / math.log(2) ** 2)
+        )
+        self.num_hashes = max(
+            1, round(self.num_bits / capacity * math.log(2))
+        )
+        self._bits = np.zeros(self.num_bits, dtype=bool)
+        self._hashers = tuple(
+            IndexHasher(seed * 131 + i, self.num_bits)
+            for i in range(self.num_hashes)
+        )
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def space_bits(self) -> int:
+        """Fast-space footprint of the filter itself."""
+        return self.num_bits
+
+    def add(self, key: Key) -> None:
+        handle = key_to_u64(key)
+        for hasher in self._hashers:
+            self._bits[hasher.index(handle)] = True
+        self._count += 1
+
+    def might_contain(self, key: Key) -> bool:
+        handle = key_to_u64(key)
+        return all(
+            bool(self._bits[hasher.index(handle)]) for hasher in self._hashers
+        )
+
+    def might_contain_batch(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        result = np.ones(len(keys), dtype=bool)
+        for hasher in self._hashers:
+            result &= self._bits[hasher.index_batch(keys).astype(np.int64)]
+        return result
+
+
+class GuardedTable:
+    """A VO table whose lookups answer ``None`` for (probable) aliens.
+
+    Deletion support differs from the bare table: Bloom filters cannot
+    unset bits, so deleted keys *may* still pass the guard and then read a
+    meaningless value — they degrade to ordinary VO semantics. Rebuild the
+    guard (:meth:`compact`) after heavy churn.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        value_bits: int,
+        seed: int = 1,
+        false_positive_rate: float = 0.01,
+        table: Optional[ValueOnlyTable] = None,
+    ):
+        self._table = (
+            table if table is not None
+            else VisionEmbedder(capacity, value_bits, seed=seed)
+        )
+        self.false_positive_rate = false_positive_rate
+        self._seed = seed
+        self._guard = BloomFilter(capacity, false_positive_rate, seed=seed)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._table
+
+    @property
+    def space_bits(self) -> int:
+        """Fast space of the value table plus the guard."""
+        return self._table.space_bits + self._guard.space_bits
+
+    def insert(self, key: Key, value: int) -> None:
+        self._table.insert(key, value)
+        self._guard.add(key)
+
+    def update(self, key: Key, value: int) -> None:
+        self._table.update(key, value)
+
+    def delete(self, key: Key) -> None:
+        # Slow space forgets the key; the guard keeps its bits (see class
+        # docstring).
+        self._table.delete(key)
+
+    def lookup(self, key: Key) -> Optional[int]:
+        """The value, or None if the key is (probably) alien."""
+        if not self._guard.might_contain(key):
+            return None
+        return self._table.lookup(key)
+
+    def lookup_batch(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(present mask, values); values are meaningless where not present."""
+        mask = self._guard.might_contain_batch(keys)
+        return mask, self._table.lookup_batch(keys)
+
+    def compact(self) -> None:
+        """Rebuild the guard from the live key set (after churn)."""
+        live = max(1, len(self._table))
+        fresh = BloomFilter(
+            max(live, self._guard.capacity), self.false_positive_rate,
+            seed=self._seed + 1,
+        )
+        assistant = getattr(self._table, "_assistant", None)
+        if assistant is None:
+            raise TypeError(
+                "compact() requires a table exposing its key set"
+            )
+        for key, _value in assistant.pairs():
+            fresh.add(key)
+        self._guard = fresh
+        self._seed += 1

@@ -1,0 +1,127 @@
+"""SeqOthello-style k-mer → experiment index (§I "Others", ref [13]).
+
+SeqOthello answers "which sequencing experiment contains this k-mer?"
+with a value-only structure so the index fits in memory. This wrapper maps
+fixed-length DNA k-mers to small experiment ids: k-mers are 2-bit-packed
+into integer handles (the standard genomics encoding) and stored in a
+VisionEmbedder whose value length is just wide enough for the experiment
+count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.core.embedder import VisionEmbedder
+
+_BASE_CODES = {"A": 0, "C": 1, "G": 2, "T": 3}
+_CODE_BASES = "ACGT"
+
+
+def pack_kmer(kmer: str) -> int:
+    """2-bit-pack an ACGT string into an integer handle."""
+    if not kmer:
+        raise ValueError("empty k-mer")
+    if len(kmer) > 31:
+        raise ValueError("k-mers longer than 31 bases do not fit 64 bits; "
+                         "hash them to handles upstream")
+    handle = 1  # leading sentinel bit preserves length information
+    for base in kmer.upper():
+        try:
+            handle = (handle << 2) | _BASE_CODES[base]
+        except KeyError:
+            raise ValueError(f"non-ACGT base {base!r} in k-mer") from None
+    return handle
+
+
+def unpack_kmer(handle: int) -> str:
+    """Invert :func:`pack_kmer` (mainly for tests and debugging)."""
+    if handle < 1:
+        raise ValueError("invalid k-mer handle")
+    bases = []
+    while handle > 1:
+        bases.append(_CODE_BASES[handle & 3])
+        handle >>= 2
+    return "".join(reversed(bases))
+
+
+def kmers_of(sequence: str, k: int) -> Iterable[str]:
+    """All overlapping k-mers of a sequence."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    for start in range(0, max(0, len(sequence) - k + 1)):
+        yield sequence[start : start + k]
+
+
+class KmerExperimentIndex:
+    """Maps every indexed k-mer to the id of the experiment holding it.
+
+    Ties (a k-mer present in several experiments) keep the first-indexed
+    experiment, mirroring SeqOthello's one-value-per-key core; multi-set
+    membership is layered above it in the original system.
+    """
+
+    def __init__(self, capacity: int, num_experiments: int, k: int,
+                 seed: int = 1):
+        if num_experiments < 1:
+            raise ValueError("need at least one experiment")
+        self.k = k
+        self.num_experiments = num_experiments
+        value_bits = max(1, math.ceil(math.log2(max(2, num_experiments))))
+        self._table = VisionEmbedder(capacity, value_bits=value_bits,
+                                     seed=seed)
+        self._experiment_names: Dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def value_bits(self) -> int:
+        return self._table.value_bits
+
+    @property
+    def space_bits(self) -> int:
+        return self._table.space_bits
+
+    def add_experiment(self, experiment_id: int, name: str,
+                       sequence: str) -> int:
+        """Index every k-mer of ``sequence`` under ``experiment_id``.
+
+        Returns the number of *new* k-mers indexed (already-seen k-mers
+        keep their original experiment).
+        """
+        if not 0 <= experiment_id < self.num_experiments:
+            raise ValueError(
+                f"experiment_id must be in [0, {self.num_experiments})"
+            )
+        self._experiment_names[experiment_id] = name
+        added = 0
+        for kmer in kmers_of(sequence, self.k):
+            handle = pack_kmer(kmer)
+            if handle not in self._table:
+                self._table.insert(handle, experiment_id)
+                added += 1
+        return added
+
+    def query(self, kmer: str) -> int:
+        """The experiment id for a k-mer (meaningless if never indexed)."""
+        if len(kmer) != self.k:
+            raise ValueError(f"expected a {self.k}-mer, got {len(kmer)} bases")
+        return self._table.lookup(pack_kmer(kmer))
+
+    def query_name(self, kmer: str) -> Optional[str]:
+        """The experiment name, or None if the id has no registered name
+        (which flags an alien k-mer whose meaningless id is out of use)."""
+        return self._experiment_names.get(self.query(kmer))
+
+    def query_sequence(self, sequence: str) -> Dict[int, int]:
+        """Histogram: experiment id -> number of matching k-mers in
+        ``sequence`` (the SeqOthello-style coverage query)."""
+        histogram: Dict[int, int] = {}
+        for kmer in kmers_of(sequence, self.k):
+            experiment = self.query(kmer)
+            histogram[experiment] = histogram.get(experiment, 0) + 1
+        return histogram

@@ -1,0 +1,22 @@
+"""Baseline value-only tables the paper compares against (§VI-A).
+
+- :class:`~repro.baselines.bloomier.Bloomier` — the static solution [8]:
+  best space (1.23·L·(n+100) bits) but O(n) updates via rebuild.
+- :class:`~repro.baselines.othello.Othello` — dynamic two-hash bipartite
+  XOR forest [9]: O(1) amortised updates, 2.33·L·n bits, constant
+  update-failure probability.
+- :class:`~repro.baselines.coloring.ColoringEmbedder` — dynamic two-hash
+  scheme [10] at 2.2·L·n bits (see DESIGN.md §5 for the modelled core).
+- :class:`~repro.baselines.ludo.Ludo` — bucketised cuckoo slots plus an
+  internal locator [21]: (3.76 + 1.05·L)·n bits, with the paper's proposed
+  Othello → VisionEmbedder locator swap available as an option.
+"""
+
+from repro.baselines.bloomier import Bloomier
+from repro.baselines.othello import Othello
+from repro.baselines.coloring import ColoringEmbedder
+from repro.baselines.ludo import Ludo
+from repro.baselines.keystore import CuckooKeyValueTable
+
+__all__ = ["Bloomier", "Othello", "ColoringEmbedder", "Ludo",
+           "CuckooKeyValueTable"]

@@ -1,0 +1,246 @@
+"""Coloring Embedder [10]: the second dynamic two-hash baseline.
+
+The Coloring Embedder maps each key to two cells of a single table and
+derives the value from the pair of cell "colors"; updates propagate through
+connected components of the two-choice graph, and — like every two-hash
+scheme — an unsolvable configuration (most simply, two cells that collide
+outright) occurs with constant probability per full insertion, forcing a
+full rebuild.
+
+Per DESIGN.md §5, we model the scheme's core as an XOR constraint
+``A[u] XOR A[v] == value`` on a *non-bipartite* two-choice graph over one
+array of 2.2·n cells (the paper's quoted 2.2·L bits per key), with
+component-flip updates. This preserves the three axes the paper measures
+Color on — 2.2·L space, O(1) amortised updates, constant failure
+probability (including the self-loop ``u == v`` collision case, which has
+no analogue in bipartite Othello) — without reproducing Color's internal
+colour-compression machinery. Values are stored as bit-planes, so lookup
+cost grows with L exactly as Fig 8(b) reports for Color.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.baselines.bitplanes import BitPlaneStore
+from repro.core.errors import (
+    DuplicateKey,
+    KeyNotFound,
+    ReconstructionFailed,
+    UpdateFailure,
+)
+from repro.core.stats import TableStats
+from repro.hashing import HashFamily, key_to_u64
+from repro.table import Key, ValueOnlyTable
+
+
+class ColoringEmbedder(ValueOnlyTable):
+    """Two-hash, single-array value-only table at 2.2·L bits per key."""
+
+    name = "color"
+
+    def __init__(
+        self,
+        capacity: int,
+        value_bits: int,
+        seed: int = 1,
+        space_factor: float = 2.2,
+        max_reconstruct_attempts: int = 50,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._value_bits = value_bits
+        self._value_mask = (1 << value_bits) - 1
+        self._m = max(2, math.ceil(capacity * space_factor))
+        self._seed = seed
+        self._hashes = HashFamily(seed, [self._m, self._m])
+        self._cells = BitPlaneStore(self._m, value_bits)
+        # Slow-space assistant: adjacency of the two-choice graph.
+        self._adj: List[Set[int]] = [set() for _ in range(self._m)]
+        self._values: Dict[int, int] = {}
+        self._endpoints: Dict[int, Tuple[int, int]] = {}
+        self.max_reconstruct_attempts = max_reconstruct_attempts
+        self._stats = TableStats()
+
+    # ------------------------------------------------------------------
+    # ValueOnlyTable surface
+    # ------------------------------------------------------------------
+
+    @property
+    def value_bits(self) -> int:
+        return self._value_bits
+
+    @property
+    def space_bits(self) -> int:
+        return self._m * self._value_bits
+
+    @property
+    def stats(self) -> TableStats:
+        return self._stats
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: Key) -> bool:
+        return key_to_u64(key) in self._values
+
+    def lookup(self, key: Key) -> int:
+        handle = key_to_u64(key)
+        u = self._hashes[0].index(handle)
+        v = self._hashes[1].index(handle)
+        return self._cells.xor_pair_lookup(self._cells, u, v)
+
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        us = self._hashes[0].index_batch(keys)
+        vs = self._hashes[1].index_batch(keys)
+        return self._cells.xor_pair_lookup_batch(self._cells, us, vs)
+
+    def insert(self, key: Key, value: int) -> None:
+        handle = key_to_u64(key)
+        if handle in self._values:
+            raise DuplicateKey(f"key {key!r} already inserted")
+        self._check_value(value)
+        self._values[handle] = value
+        self._endpoints[handle] = (
+            self._hashes[0].index(handle),
+            self._hashes[1].index(handle),
+        )
+        try:
+            self._link(handle)
+            self._stats.updates += 1
+        except UpdateFailure:
+            self._stats.update_failures += 1
+            self._reconstruct()
+
+    def update(self, key: Key, value: int) -> None:
+        handle = key_to_u64(key)
+        if handle not in self._values:
+            raise KeyNotFound(f"key {key!r} not inserted")
+        self._check_value(value)
+        if self._values[handle] == value:
+            return
+        self._values[handle] = value
+        u, v = self._endpoints[handle]
+        self._adj[u].discard(handle)
+        self._adj[v].discard(handle)
+        try:
+            self._link(handle)
+            self._stats.updates += 1
+        except UpdateFailure:
+            self._stats.update_failures += 1
+            self._reconstruct()
+
+    def delete(self, key: Key) -> None:
+        handle = key_to_u64(key)
+        if handle not in self._values:
+            raise KeyNotFound(f"key {key!r} not inserted")
+        u, v = self._endpoints.pop(handle)
+        self._adj[u].discard(handle)
+        self._adj[v].discard(handle)
+        del self._values[handle]
+
+    # ------------------------------------------------------------------
+    # Graph machinery
+    # ------------------------------------------------------------------
+
+    def _check_value(self, value: int) -> None:
+        if not 0 <= value <= self._value_mask:
+            raise ValueError(
+                f"value {value} out of range for {self._value_bits}-bit values"
+            )
+
+    def _component_of(self, start: int) -> Set[int]:
+        """BFS the set of cells connected to ``start``."""
+        nodes = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for edge in self._adj[node]:
+                u, v = self._endpoints[edge]
+                other = v if node == u else u
+                if other not in nodes:
+                    nodes.add(other)
+                    queue.append(other)
+        return nodes
+
+    def _link(self, handle: int) -> None:
+        """Attach an edge; raises :class:`UpdateFailure` when unsolvable."""
+        u, v = self._endpoints[handle]
+        value = self._values[handle]
+        if u == v:
+            # Both hashes collided on one cell: the equation is
+            # A[u] XOR A[u] == value, solvable only for value == 0. This is
+            # the collision failure two-hash schemes suffer from.
+            if value != 0:
+                raise UpdateFailure("two-hash self-collision")
+            self._adj[u].add(handle)
+            return
+        current = self._cells.xor_pair_lookup(self._cells, u, v)
+        delta = current ^ value
+        if delta:
+            component = self._component_of(u)
+            if v in component:
+                raise UpdateFailure("inconsistent cycle in two-hash graph")
+            self._cells.xor_many(np.fromiter(component, dtype=np.int64), delta)
+        self._adj[u].add(handle)
+        self._adj[v].add(handle)
+
+    def _reconstruct(self) -> None:
+        """Reseed the hash functions and rebuild everything."""
+        pairs = list(self._values.items())
+        started = time.perf_counter()
+        try:
+            for _ in range(self.max_reconstruct_attempts):
+                self._stats.reconstructions += 1
+                self._seed += 1
+                self._hashes = self._hashes.reseeded(self._seed)
+                self._cells.clear()
+                for bucket in self._adj:
+                    bucket.clear()
+                if self._try_rebuild(pairs):
+                    return
+            raise ReconstructionFailed(
+                f"no working seed within {self.max_reconstruct_attempts} attempts"
+            )
+        finally:
+            self._stats.reconstruct_seconds += time.perf_counter() - started
+
+    def _try_rebuild(self, pairs) -> bool:
+        for handle, _value in pairs:
+            self._endpoints[handle] = (
+                self._hashes[0].index(handle),
+                self._hashes[1].index(handle),
+            )
+            try:
+                self._link(handle)
+            except UpdateFailure:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert every live key's equation holds."""
+        for handle, value in self._values.items():
+            u, v = self._endpoints[handle]
+            actual = self._cells.xor_pair_lookup(self._cells, u, v)
+            assert actual == value, (
+                f"equation broken for key {handle}: table says {actual}, "
+                f"recorded value is {value}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColoringEmbedder(n={len(self)}, m={self._m}, L={self._value_bits})"

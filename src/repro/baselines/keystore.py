@@ -1,0 +1,316 @@
+"""Key-stored baseline: bucketised cuckoo hashing (§I, §VII contrast).
+
+The paper's §I splits the field into key-stored solutions and value-only
+tables, and its related work (§VII) notes the key-stored side's defining
+advantage: it can answer "not present" for alien keys, at the price of
+storing the key (or a fingerprint) alongside every value. This module
+implements that contrast class so the repository can *measure* the trade
+the paper argues about:
+
+- ``mode="full"`` stores the complete key — exact membership, biggest
+  space.
+- ``mode="fingerprint"`` stores an f-bit hash of the key — membership
+  with a 2^-f-ish false-positive rate, space between the two worlds.
+
+The table is a textbook 2-choice, 4-slot-bucket cuckoo hash with BFS-free
+random-kick insertion, the same family of machinery Ludo builds on. It
+deliberately does *not* implement :class:`~repro.table.ValueOnlyTable` —
+its lookup returns ``None`` for absent keys, which is exactly the
+semantic VO tables give up.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import (
+    DuplicateKey,
+    KeyNotFound,
+    ReconstructionFailed,
+)
+from repro.core.stats import TableStats
+from repro.hashing import IndexHasher, key_to_u64, murmur3_32_u64
+from repro.table import Key
+
+SLOTS_PER_BUCKET = 4
+
+
+@dataclass
+class _Entry:
+    """One occupied slot: the stored tag (key or fingerprint) + value."""
+
+    key: int        # full key handle (always kept in slow space)
+    tag: int        # what fast space stores: key or fingerprint
+    value: int
+
+
+class CuckooKeyValueTable:
+    """Key-stored 2-choice cuckoo table with 4-slot buckets.
+
+    Parameters
+    ----------
+    key_bits:
+        Fast-space bits billed per stored key in ``mode="full"`` (the
+        keys' native width, e.g. 48 for MAC addresses).
+    fingerprint_bits:
+        Tag width in ``mode="fingerprint"``.
+    """
+
+    name = "cuckoo-kv"
+
+    def __init__(
+        self,
+        capacity: int,
+        value_bits: int,
+        key_bits: int = 64,
+        mode: str = "full",
+        fingerprint_bits: int = 12,
+        seed: int = 1,
+        bucket_load: float = 0.95,
+        max_kicks: int = 500,
+        max_reconstruct_attempts: int = 50,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if mode not in ("full", "fingerprint"):
+            raise ValueError("mode must be 'full' or 'fingerprint'")
+        if not 1 <= value_bits <= 64:
+            raise ValueError("value_bits must be in [1, 64]")
+        self.capacity = capacity
+        self.value_bits = value_bits
+        self.key_bits = key_bits
+        self.mode = mode
+        self.fingerprint_bits = fingerprint_bits
+        self.bucket_load = bucket_load
+        self.max_kicks = max_kicks
+        self.max_reconstruct_attempts = max_reconstruct_attempts
+        self._value_mask = (1 << value_bits) - 1
+        self._num_buckets = max(
+            2, math.ceil(capacity / (SLOTS_PER_BUCKET * bucket_load))
+        )
+        self._seed = seed
+        self._rng = random.Random(seed ^ 0x6B657973)
+        self._stats = TableStats()
+        self._init_structures()
+
+    def _init_structures(self) -> None:
+        self._hashes = (
+            IndexHasher(self._seed * 3 + 5, self._num_buckets),
+            IndexHasher(self._seed * 3 + 6, self._num_buckets),
+        )
+        self._fp_seed = (self._seed * 0x9E3779B1 + 0x7F) & 0xFFFFFFFF
+        self._buckets: List[List[Optional[_Entry]]] = [
+            [None] * SLOTS_PER_BUCKET for _ in range(self._num_buckets)
+        ]
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Space accounting (the point of this class)
+    # ------------------------------------------------------------------
+
+    @property
+    def tag_bits(self) -> int:
+        """Fast-space bits per slot spent on identifying the key."""
+        return self.key_bits if self.mode == "full" else self.fingerprint_bits
+
+    @property
+    def space_bits(self) -> int:
+        """Fast space: every slot holds a tag + a value (+1 valid bit)."""
+        per_slot = self.tag_bits + self.value_bits + 1
+        return self._num_buckets * SLOTS_PER_BUCKET * per_slot
+
+    @property
+    def bits_per_key(self) -> float:
+        return self.space_bits / self._count if self._count else float("inf")
+
+    @property
+    def stats(self) -> TableStats:
+        return self._stats
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Chance an alien key matches some resident tag (fingerprint
+        mode; zero when full keys are stored)."""
+        if self.mode == "full":
+            return 0.0
+        # Two candidate buckets x 4 slots, each matching w.p. 2^-f.
+        return min(1.0, 2 * SLOTS_PER_BUCKET * 2.0 ** -self.fingerprint_bits)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: Key) -> bool:
+        return self._find(key_to_u64(key)) is not None
+
+    def _tag_of(self, handle: int) -> int:
+        if self.mode == "full":
+            return handle
+        tag = murmur3_32_u64(handle, self._fp_seed)
+        return tag & ((1 << self.fingerprint_bits) - 1)
+
+    def _candidates(self, handle: int) -> Tuple[int, int]:
+        return (self._hashes[0].index(handle), self._hashes[1].index(handle))
+
+    def _find(self, handle: int) -> Optional[Tuple[int, int]]:
+        for bucket in self._candidates(handle):
+            for slot, entry in enumerate(self._buckets[bucket]):
+                if entry is not None and entry.key == handle:
+                    return bucket, slot
+        return None
+
+    def insert(self, key: Key, value: int) -> None:
+        handle = key_to_u64(key)
+        if self._find(handle) is not None:
+            raise DuplicateKey(f"key {key!r} already inserted")
+        if not 0 <= value <= self._value_mask:
+            raise ValueError(
+                f"value {value} out of range for {self.value_bits}-bit values"
+            )
+        entry = _Entry(key=handle, tag=self._tag_of(handle), value=value)
+        homeless = self._place(entry)
+        if homeless is None:
+            self._count += 1
+            self._stats.updates += 1
+            return
+        # Kick chain exhausted: `homeless` is the one displaced entry with
+        # no slot (the new entry itself, or a resident it bumped out).
+        self._stats.update_failures += 1
+        self._reconstruct(extra=homeless)
+
+    def _place(self, entry: _Entry) -> Optional[_Entry]:
+        """Cuckoo placement. Returns None on success, or the entry left
+        without a slot when the kick budget runs out."""
+        current = entry
+        for _kick in range(self.max_kicks):
+            b0, b1 = self._candidates(current.key)
+            for bucket in sorted(
+                (b0, b1),
+                key=lambda b: sum(e is not None for e in self._buckets[b]),
+            ):
+                slots = self._buckets[bucket]
+                for slot in range(SLOTS_PER_BUCKET):
+                    if slots[slot] is None:
+                        slots[slot] = current
+                        return None
+            # Both full: evict a random resident of a random candidate.
+            bucket = self._rng.choice((b0, b1))
+            slot = self._rng.randrange(SLOTS_PER_BUCKET)
+            current, self._buckets[bucket][slot] = (
+                self._buckets[bucket][slot], current,
+            )
+        return current
+
+    def update(self, key: Key, value: int) -> None:
+        handle = key_to_u64(key)
+        found = self._find(handle)
+        if found is None:
+            raise KeyNotFound(f"key {key!r} not inserted")
+        if not 0 <= value <= self._value_mask:
+            raise ValueError(
+                f"value {value} out of range for {self.value_bits}-bit values"
+            )
+        bucket, slot = found
+        self._buckets[bucket][slot].value = value
+        self._stats.updates += 1
+
+    def delete(self, key: Key) -> None:
+        handle = key_to_u64(key)
+        found = self._find(handle)
+        if found is None:
+            raise KeyNotFound(f"key {key!r} not inserted")
+        bucket, slot = found
+        self._buckets[bucket][slot] = None
+        self._count -= 1
+
+    def lookup(self, key: Key) -> Optional[int]:
+        """The value, or None when absent — what VO tables cannot say.
+
+        In fingerprint mode an alien key may collide with a resident tag
+        and return that resident's value (rate ``false_positive_rate``).
+        """
+        handle = key_to_u64(key)
+        tag = self._tag_of(handle)
+        for bucket in self._candidates(handle):
+            for entry in self._buckets[bucket]:
+                if entry is not None and entry.tag == tag:
+                    if self.mode == "full" and entry.key != handle:
+                        continue
+                    return entry.value
+        return None
+
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Loop lookup returning ``value + 1`` (0 encodes absent)."""
+        out = np.zeros(len(keys), dtype=np.uint64)
+        for i, key in enumerate(np.asarray(keys, dtype=np.uint64).tolist()):
+            value = self.lookup(key)
+            if value is not None:
+                out[i] = value + 1
+        return out
+
+    def insert_many(self, pairs: Iterable[Tuple[Key, int]]) -> None:
+        for key, value in pairs:
+            self.insert(key, value)
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+
+    def _entries(self) -> List[_Entry]:
+        return [
+            entry
+            for bucket in self._buckets
+            for entry in bucket
+            if entry is not None
+        ]
+
+    def _reconstruct(self, extra: Optional[_Entry] = None) -> None:
+        entries = self._entries()
+        if extra is not None:
+            entries.append(extra)
+        for _ in range(self.max_reconstruct_attempts):
+            self._stats.reconstructions += 1
+            self._seed += 1
+            self._init_structures()
+            placed_all = True
+            for entry in entries:
+                entry.tag = self._tag_of(entry.key)
+                if self._place(entry) is not None:
+                    placed_all = False
+                    break
+            if placed_all:
+                self._count = len(entries)
+                return
+        raise ReconstructionFailed(
+            f"no working seed within {self.max_reconstruct_attempts} attempts"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Every entry sits in one of its candidate buckets, tags agree."""
+        seen = 0
+        for bucket_index, bucket in enumerate(self._buckets):
+            for entry in bucket:
+                if entry is None:
+                    continue
+                seen += 1
+                assert bucket_index in self._candidates(entry.key)
+                assert entry.tag == self._tag_of(entry.key)
+        assert seen == self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CuckooKeyValueTable(n={self._count}, "
+            f"buckets={self._num_buckets}, mode={self.mode!r})"
+        )

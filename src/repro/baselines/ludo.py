@@ -1,0 +1,376 @@
+"""Ludo hashing [21]: the key-value baseline at (3.76 + 1.05·L)·n bits.
+
+Ludo stores values in 4-slot cuckoo buckets. A key has two candidate
+buckets; a 1-bit internal *locator* (an Othello over the key set) remembers
+which of the two actually holds it, and a 5-bit per-bucket seed defines a
+collision-free mapping from the bucket's resident keys to its 4 slots, so a
+lookup is: locator bit → bucket → seeded slot hash → value. Fast space is
+the slots (1.05·L·n), the seeds (1.32·n) and the locator (2.33·n) — the
+paper's (3.76 + 1.05·L)·n.
+
+The paper points out Ludo inherits the locator's failure behaviour and
+proposes replacing the internal Othello with VisionEmbedder, cutting the
+constant to ~3.1 + 1.05·L and the failure probability to O(1/n). That swap
+is implemented here via ``locator="vision"`` and exercised by the ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.errors import (
+    DuplicateKey,
+    KeyNotFound,
+    ReconstructionFailed,
+    SpaceExhausted,
+    UpdateFailure,
+)
+from repro.core.stats import TableStats
+from repro.hashing import IndexHasher, key_to_u64, murmur3_32_u64
+from repro.table import Key, ValueOnlyTable
+
+SLOTS_PER_BUCKET = 4
+SEED_BITS = 5
+NUM_SEEDS = 1 << SEED_BITS
+
+
+def _make_locator(kind: str, capacity: int, seed: int):
+    """Build the 1-bit bucket locator: classic Othello or VisionEmbedder."""
+    if kind == "othello":
+        from repro.baselines.othello import Othello
+
+        return Othello(capacity, value_bits=1, seed=seed)
+    if kind == "vision":
+        from repro.core.embedder import VisionEmbedder
+
+        # Default config: the locator self-heals (reseeds itself) on its
+        # own rare failures and counts them in its stats, mirroring how the
+        # Othello locator behaves.
+        return VisionEmbedder(capacity, value_bits=1, seed=seed)
+    raise ValueError(f"unknown locator kind {kind!r}")
+
+
+class Ludo(ValueOnlyTable):
+    """Bucketised cuckoo value store with a 1-bit locator.
+
+    Parameters
+    ----------
+    bucket_load:
+        Target slot occupancy; buckets are provisioned so that ``capacity``
+        keys fill ``bucket_load`` of all slots (paper-consistent 0.95).
+    locator:
+        ``"othello"`` (original Ludo) or ``"vision"`` (the paper's proposed
+        improvement).
+    """
+
+    name = "ludo"
+
+    def __init__(
+        self,
+        capacity: int,
+        value_bits: int,
+        seed: int = 1,
+        bucket_load: float = 0.95,
+        locator: str = "othello",
+        max_kicks: int = 500,
+        max_reconstruct_attempts: int = 50,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._value_bits = value_bits
+        self._value_mask = (1 << value_bits) - 1
+        self.bucket_load = bucket_load
+        self.locator_kind = locator
+        self.max_kicks = max_kicks
+        self.max_reconstruct_attempts = max_reconstruct_attempts
+        self._num_buckets = max(
+            2, math.ceil(capacity / (SLOTS_PER_BUCKET * bucket_load))
+        )
+        self._seed = seed
+        self._stats = TableStats()
+        self._rng = random.Random(seed ^ 0x5F0E2D3C)
+        self._retired_locator_reconstructions = 0
+        self._init_structures()
+
+    def _init_structures(self) -> None:
+        # Keep the failure history of any locator we are about to replace.
+        old_locator = getattr(self, "_locator", None)
+        if old_locator is not None:
+            self._retired_locator_reconstructions += (
+                old_locator.stats.reconstructions
+            )
+        self._bucket_hashes = (
+            IndexHasher(self._seed * 2 + 11, self._num_buckets),
+            IndexHasher(self._seed * 2 + 12, self._num_buckets),
+        )
+        self._slot_seed_salt = (self._seed * 0x9E3779B1) & 0xFFFFFFFF
+        self._slots = np.zeros(
+            (self._num_buckets, SLOTS_PER_BUCKET), dtype=np.uint64
+        )
+        self._bucket_seeds = np.zeros(self._num_buckets, dtype=np.uint8)
+        # Slow-space bookkeeping.
+        self._members: List[Set[int]] = [set() for _ in range(self._num_buckets)]
+        self._values: Dict[int, int] = {}
+        self._home: Dict[int, int] = {}
+        self._slot_cache: Dict[int, np.ndarray] = {}
+        self._locator = _make_locator(self.locator_kind, self.capacity, self._seed)
+
+    # ------------------------------------------------------------------
+    # ValueOnlyTable surface
+    # ------------------------------------------------------------------
+
+    @property
+    def value_bits(self) -> int:
+        return self._value_bits
+
+    @property
+    def space_bits(self) -> int:
+        slots = self._num_buckets * SLOTS_PER_BUCKET * self._value_bits
+        seeds = self._num_buckets * SEED_BITS
+        return slots + seeds + self._locator.space_bits
+
+    @property
+    def stats(self) -> TableStats:
+        return self._stats
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def failure_events(self) -> int:
+        """Own rebuild passes plus every locator rebuild, past and present."""
+        return (
+            self.stats.reconstructions
+            + self._retired_locator_reconstructions
+            + self._locator.stats.reconstructions
+        )
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: Key) -> bool:
+        return key_to_u64(key) in self._values
+
+    def lookup(self, key: Key) -> int:
+        handle = key_to_u64(key)
+        bit = self._locator.lookup(handle) & 1
+        bucket = self._bucket_hashes[bit].index(handle)
+        slot = self._slot_of(handle, int(self._bucket_seeds[bucket]))
+        return int(self._slots[bucket, slot])
+
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        bits = (self._locator.lookup_batch(keys) & np.uint64(1)).astype(bool)
+        b0 = self._bucket_hashes[0].index_batch(keys).astype(np.int64)
+        b1 = self._bucket_hashes[1].index_batch(keys).astype(np.int64)
+        buckets = np.where(bits, b1, b0)
+        seeds = self._bucket_seeds[buckets].astype(np.uint64)
+        slot_hash = self._slot_hash_batch(keys, seeds)
+        return self._slots[buckets, slot_hash]
+
+    def insert(self, key: Key, value: int) -> None:
+        handle = key_to_u64(key)
+        if handle in self._values:
+            raise DuplicateKey(f"key {key!r} already inserted")
+        self._check_value(value)
+        self._values[handle] = value
+        try:
+            self._place(handle, 0)
+            self._stats.updates += 1
+        except (UpdateFailure, SpaceExhausted):
+            self._stats.update_failures += 1
+            self._reconstruct()
+
+    def update(self, key: Key, value: int) -> None:
+        """O(1): rewrite the key's slot in place — no topology change."""
+        handle = key_to_u64(key)
+        if handle not in self._values:
+            raise KeyNotFound(f"key {key!r} not inserted")
+        self._check_value(value)
+        self._values[handle] = value
+        bucket = self._home[handle]
+        slot = self._slot_of(handle, int(self._bucket_seeds[bucket]))
+        self._slots[bucket, slot] = value
+        self._stats.updates += 1
+
+    def delete(self, key: Key) -> None:
+        handle = key_to_u64(key)
+        if handle not in self._values:
+            raise KeyNotFound(f"key {key!r} not inserted")
+        bucket = self._home.pop(handle)
+        self._members[bucket].discard(handle)
+        del self._values[handle]
+        self._slot_cache.pop(handle, None)
+        if handle in self._locator:
+            self._locator.delete(handle)
+
+    # ------------------------------------------------------------------
+    # Placement machinery
+    # ------------------------------------------------------------------
+
+    def _check_value(self, value: int) -> None:
+        if not 0 <= value <= self._value_mask:
+            raise ValueError(
+                f"value {value} out of range for {self._value_bits}-bit values"
+            )
+
+    def _slot_of(self, handle: int, bucket_seed: int) -> int:
+        return murmur3_32_u64(
+            handle, self._slot_seed_salt + bucket_seed
+        ) % SLOTS_PER_BUCKET
+
+    def _slot_hash_batch(self, keys: np.ndarray, seeds: np.ndarray) -> np.ndarray:
+        """Per-key slot index under per-key bucket seeds (vectorised).
+
+        Bucket seeds take one of 32 values; hash the batch once per seed
+        value actually present and select.
+        """
+        result = np.zeros(len(keys), dtype=np.int64)
+        for seed_value in np.unique(seeds):
+            mask = seeds == seed_value
+            hasher = IndexHasher(
+                self._slot_seed_salt + int(seed_value), SLOTS_PER_BUCKET
+            )
+            result[mask] = hasher.index_batch(keys[mask]).astype(np.int64)
+        return result
+
+    def _slot_table(self, handle: int) -> np.ndarray:
+        """The key's slot under each of the 32 possible bucket seeds."""
+        cached = self._slot_cache.get(handle)
+        if cached is None:
+            cached = np.fromiter(
+                (self._slot_of(handle, s) for s in range(NUM_SEEDS)),
+                dtype=np.uint8,
+                count=NUM_SEEDS,
+            )
+            self._slot_cache[handle] = cached
+        return cached
+
+    def _find_bucket_seed(self, members: List[int]) -> Optional[int]:
+        """A seed value mapping ``members`` to pairwise-distinct slots."""
+        if not members:
+            return 0
+        tables = np.stack([self._slot_table(m) for m in members])
+        for seed_value in range(NUM_SEEDS):
+            column = tables[:, seed_value]
+            if len(np.unique(column)) == len(members):
+                return seed_value
+        return None
+
+    def _candidates(self, handle: int) -> Tuple[int, int]:
+        return (
+            self._bucket_hashes[0].index(handle),
+            self._bucket_hashes[1].index(handle),
+        )
+
+    def _try_settle(self, bucket: int, handle: int) -> bool:
+        """Try to host ``handle`` in ``bucket``: reseed + rewrite its slots."""
+        members = sorted(self._members[bucket] | {handle})
+        if len(members) > SLOTS_PER_BUCKET:
+            return False
+        seed_value = self._find_bucket_seed(members)
+        if seed_value is None:
+            return False
+        self._members[bucket].add(handle)
+        self._home[handle] = bucket
+        self._bucket_seeds[bucket] = seed_value
+        for member in members:
+            slot = int(self._slot_table(member)[seed_value])
+            self._slots[bucket, slot] = self._values[member]
+        return True
+
+    def _set_locator_bit(self, handle: int, bucket: int) -> None:
+        b0, _b1 = self._candidates(handle)
+        bit = 0 if bucket == b0 else 1
+        self._locator.put(handle, bit)
+
+    def _place(self, handle: int, depth: int) -> None:
+        """Cuckoo placement with bounded kicks; raises on exhaustion."""
+        if depth > self.max_kicks:
+            raise UpdateFailure("cuckoo kick budget exhausted", steps=depth)
+        b0, b1 = self._candidates(handle)
+        order = sorted({b0, b1}, key=lambda b: len(self._members[b]))
+        for bucket in order:
+            if self._try_settle(bucket, handle):
+                self._set_locator_bit(handle, bucket)
+                return
+        # Both candidates refuse (full, or no collision-free seed): evict a
+        # resident of one of them and retry it in its alternate bucket.
+        bucket = self._rng.choice(order)
+        victims = list(self._members[bucket])
+        self._rng.shuffle(victims)
+        for victim in victims:
+            self._members[bucket].discard(victim)
+            del self._home[victim]
+            if self._try_settle(bucket, handle):
+                self._set_locator_bit(handle, bucket)
+                self._place(victim, depth + 1)
+                return
+            # Could not settle even without this victim; put it back.
+            self._members[bucket].add(victim)
+            self._home[victim] = bucket
+        raise UpdateFailure("no viable bucket seed", steps=depth)
+
+    def _reconstruct(self) -> None:
+        """Reseed everything (buckets, slot salts, locator) and re-insert."""
+        pairs = list(self._values.items())
+        started = time.perf_counter()
+        try:
+            for _ in range(self.max_reconstruct_attempts):
+                self._stats.reconstructions += 1
+                self._seed += 1
+                self._init_structures()
+                # _init_structures resets the pair map along with the rest
+                # of the slow space; restore it before re-placing.
+                self._values = dict(pairs)
+                if self._try_rebuild(pairs):
+                    return
+            raise ReconstructionFailed(
+                f"no working seed within {self.max_reconstruct_attempts} attempts"
+            )
+        finally:
+            self._stats.reconstruct_seconds += time.perf_counter() - started
+
+    def _try_rebuild(self, pairs) -> bool:
+        for handle, _value in pairs:
+            try:
+                self._place(handle, 0)
+            except (UpdateFailure, SpaceExhausted):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert lookup answers and bookkeeping agree for all live keys."""
+        for handle, value in self._values.items():
+            bucket = self._home[handle]
+            assert handle in self._members[bucket]
+            assert bucket in self._candidates(handle)
+            actual = self.lookup(handle)
+            assert actual == value, (
+                f"lookup broken for key {handle}: got {actual}, want {value}"
+            )
+        for bucket, members in enumerate(self._members):
+            assert len(members) <= SLOTS_PER_BUCKET
+            slots = {
+                int(self._slot_table(m)[int(self._bucket_seeds[bucket])])
+                for m in members
+            }
+            assert len(slots) == len(members), f"slot collision in bucket {bucket}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Ludo(n={len(self)}, buckets={self._num_buckets}, "
+            f"L={self._value_bits}, locator={self.locator_kind!r})"
+        )

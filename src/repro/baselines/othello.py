@@ -1,0 +1,282 @@
+"""Othello [9]: the dynamic two-hash value-only table.
+
+Two arrays A (1.33·n cells) and B (1.0·n cells) hold L-bit values; each key
+is an edge ``(h_a(k), h_b(k))`` of a bipartite graph and the invariant is
+``A[u] XOR B[v] == value``. Inserting an edge that joins two components is
+resolved by XOR-flipping every node of one component with the mismatch
+delta, which preserves every internal edge's constraint (both endpoints
+flip) while fixing the new one. Inserting an edge *inside* a component
+whose implied value disagrees is unsolvable — the update failure the paper
+attributes to two-hash schemes (birthday-paradox constant probability) —
+and forces a full reseed-and-rebuild.
+
+Values are stored as bit-planes, matching the original implementation and
+hence the paper's observation (Fig 8b) that Othello's lookup cost grows
+with L.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.baselines.bitplanes import BitPlaneStore
+from repro.core.errors import (
+    DuplicateKey,
+    KeyNotFound,
+    ReconstructionFailed,
+    UpdateFailure,
+)
+from repro.core.stats import TableStats
+from repro.hashing import HashFamily, key_to_u64
+from repro.table import Key, ValueOnlyTable
+
+
+class Othello(ValueOnlyTable):
+    """Dynamic two-hash bipartite XOR table.
+
+    Parameters
+    ----------
+    capacity:
+        Expected maximum number of keys; arrays are sized
+        ``ma_factor · capacity`` and ``mb_factor · capacity`` (defaults
+        1.33 and 1.0, the original paper's sizing — 2.33·L bits per key
+        total, as quoted in the paper's Table I).
+    """
+
+    name = "othello"
+
+    def __init__(
+        self,
+        capacity: int,
+        value_bits: int,
+        seed: int = 1,
+        ma_factor: float = 1.33,
+        mb_factor: float = 1.0,
+        power_of_two: bool = False,
+        max_reconstruct_attempts: int = 50,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._value_bits = value_bits
+        self._value_mask = (1 << value_bits) - 1
+        self._ma = max(1, math.ceil(capacity * ma_factor))
+        self._mb = max(1, math.ceil(capacity * mb_factor))
+        if power_of_two:
+            # The open-source Othello sizes both arrays as powers of two
+            # (cheap masking instead of modulo); this is why its measured
+            # space cost cannot drop below the 2.33 the paper reports.
+            self._ma = 1 << (self._ma - 1).bit_length()
+            self._mb = 1 << (self._mb - 1).bit_length()
+        self.power_of_two = power_of_two
+        self._seed = seed
+        self._hashes = HashFamily(seed, [self._ma, self._mb])
+        self._a = BitPlaneStore(self._ma, value_bits)
+        self._b = BitPlaneStore(self._mb, value_bits)
+        # Slow-space assistant: adjacency of the bipartite graph.
+        self._adj_a: List[Set[int]] = [set() for _ in range(self._ma)]
+        self._adj_b: List[Set[int]] = [set() for _ in range(self._mb)]
+        self._values: Dict[int, int] = {}
+        self._endpoints: Dict[int, Tuple[int, int]] = {}
+        self.max_reconstruct_attempts = max_reconstruct_attempts
+        self._stats = TableStats()
+
+    # ------------------------------------------------------------------
+    # ValueOnlyTable surface
+    # ------------------------------------------------------------------
+
+    @property
+    def value_bits(self) -> int:
+        return self._value_bits
+
+    @property
+    def space_bits(self) -> int:
+        return (self._ma + self._mb) * self._value_bits
+
+    @property
+    def stats(self) -> TableStats:
+        return self._stats
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: Key) -> bool:
+        return key_to_u64(key) in self._values
+
+    def lookup(self, key: Key) -> int:
+        handle = key_to_u64(key)
+        u = self._hashes[0].index(handle)
+        v = self._hashes[1].index(handle)
+        return self._a.xor_pair_lookup(self._b, u, v)
+
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        us = self._hashes[0].index_batch(keys)
+        vs = self._hashes[1].index_batch(keys)
+        return self._a.xor_pair_lookup_batch(self._b, us, vs)
+
+    def insert(self, key: Key, value: int) -> None:
+        handle = key_to_u64(key)
+        if handle in self._values:
+            raise DuplicateKey(f"key {key!r} already inserted")
+        self._check_value(value)
+        self._values[handle] = value
+        self._endpoints[handle] = (
+            self._hashes[0].index(handle),
+            self._hashes[1].index(handle),
+        )
+        try:
+            self._link(handle)
+            self._stats.updates += 1
+        except UpdateFailure:
+            self._stats.update_failures += 1
+            self._reconstruct()
+
+    def update(self, key: Key, value: int) -> None:
+        handle = key_to_u64(key)
+        if handle not in self._values:
+            raise KeyNotFound(f"key {key!r} not inserted")
+        self._check_value(value)
+        old_value = self._values[handle]
+        if old_value == value:
+            return
+        self._values[handle] = value
+        # Temporarily remove the edge, then re-link it with the new value.
+        u, v = self._endpoints[handle]
+        self._adj_a[u].discard(handle)
+        self._adj_b[v].discard(handle)
+        try:
+            self._link(handle)
+            self._stats.updates += 1
+        except UpdateFailure:
+            self._stats.update_failures += 1
+            self._reconstruct()
+
+    def delete(self, key: Key) -> None:
+        handle = key_to_u64(key)
+        if handle not in self._values:
+            raise KeyNotFound(f"key {key!r} not inserted")
+        u, v = self._endpoints.pop(handle)
+        self._adj_a[u].discard(handle)
+        self._adj_b[v].discard(handle)
+        del self._values[handle]
+
+    # ------------------------------------------------------------------
+    # Graph machinery
+    # ------------------------------------------------------------------
+
+    def _check_value(self, value: int) -> None:
+        if not 0 <= value <= self._value_mask:
+            raise ValueError(
+                f"value {value} out of range for {self._value_bits}-bit values"
+            )
+
+    def _component_of_a(self, start_u: int) -> Tuple[Set[int], Set[int]]:
+        """BFS the component containing A-node ``start_u``.
+
+        Returns the sets of A-nodes and B-nodes reached.
+        """
+        a_nodes = {start_u}
+        b_nodes: Set[int] = set()
+        queue = deque([("a", start_u)])
+        while queue:
+            side, node = queue.popleft()
+            edges = self._adj_a[node] if side == "a" else self._adj_b[node]
+            for edge in edges:
+                u, v = self._endpoints[edge]
+                if side == "a":
+                    if v not in b_nodes:
+                        b_nodes.add(v)
+                        queue.append(("b", v))
+                else:
+                    if u not in a_nodes:
+                        a_nodes.add(u)
+                        queue.append(("a", u))
+        return a_nodes, b_nodes
+
+    def _link(self, handle: int) -> None:
+        """Attach an edge whose value is already recorded in ``_values``.
+
+        Raises :class:`UpdateFailure` on an inconsistent cycle.
+        """
+        u, v = self._endpoints[handle]
+        value = self._values[handle]
+        current = self._a.xor_pair_lookup(self._b, u, v)
+        delta = current ^ value
+        if delta:
+            a_nodes, b_nodes = self._component_of_a(u)
+            if v in b_nodes:
+                # u and v already connected: the edge closes a cycle whose
+                # implied value disagrees with the requested one.
+                raise UpdateFailure("inconsistent cycle in two-hash graph")
+            # Flip u's whole component so the new edge's equation holds
+            # while every internal edge keeps both endpoints flipped.
+            self._a.xor_many(np.fromiter(a_nodes, dtype=np.int64), delta)
+            if b_nodes:
+                self._b.xor_many(np.fromiter(b_nodes, dtype=np.int64), delta)
+        self._adj_a[u].add(handle)
+        self._adj_b[v].add(handle)
+
+    def _reconstruct(self) -> None:
+        """Reseed both hash functions and rebuild the whole structure."""
+        pairs = list(self._values.items())
+        started = time.perf_counter()
+        try:
+            for _ in range(self.max_reconstruct_attempts):
+                self._stats.reconstructions += 1
+                self._seed += 1
+                self._hashes = self._hashes.reseeded(self._seed)
+                self._a.clear()
+                self._b.clear()
+                for bucket in self._adj_a:
+                    bucket.clear()
+                for bucket in self._adj_b:
+                    bucket.clear()
+                if self._try_rebuild(pairs):
+                    return
+            raise ReconstructionFailed(
+                f"no working seed within {self.max_reconstruct_attempts} attempts"
+            )
+        finally:
+            self._stats.reconstruct_seconds += time.perf_counter() - started
+
+    def _try_rebuild(self, pairs) -> bool:
+        for handle, _value in pairs:
+            self._endpoints[handle] = (
+                self._hashes[0].index(handle),
+                self._hashes[1].index(handle),
+            )
+            try:
+                self._link(handle)
+            except UpdateFailure:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert every live key's equation holds."""
+        for handle, value in self._values.items():
+            u, v = self._endpoints[handle]
+            actual = self._a.xor_pair_lookup(self._b, u, v)
+            assert actual == value, (
+                f"equation broken for key {handle}: table says {actual}, "
+                f"recorded value is {value}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Othello(n={len(self)}, ma={self._ma}, mb={self._mb}, "
+            f"L={self._value_bits})"
+        )

@@ -1,0 +1,31 @@
+"""Benchmark harness: one driver per table/figure of the paper's §VI.
+
+Run ``python -m repro.bench --list`` for the experiment catalogue, or
+``python -m repro.bench fig4 --scale 0.5`` to regenerate one result at half
+the default workload size. Every driver returns an
+:class:`~repro.bench.reporting.ExperimentResult` whose rows mirror the
+series the paper plots; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.bench.reporting import ExperimentResult, format_table
+from repro.bench.harness import (
+    Percentiles,
+    latency_percentiles,
+    measure_ops,
+)
+from repro.bench.workloads import fill_table, make_pairs
+from repro.bench import experiments
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "Percentiles",
+    "latency_percentiles",
+    "measure_ops",
+    "fill_table",
+    "make_pairs",
+    "experiments",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,116 @@
+"""Command-line entry point: ``python -m repro.bench`` / ``repro-bench``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.export import results_to_csv, results_to_json
+from repro.bench.regression import compare_run
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the tables and figures of the VisionEmbedder paper "
+            "(ICDE 2024). Workloads are scaled for pure Python; pass "
+            "--scale to grow or shrink them."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment names (default: all); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload-size multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="master random seed (default 1)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "csv", "json"), default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write results to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="compare against a previous --format json output file",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="relative change flagged by --compare (default 0.5 = ±50%%)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        for name, driver in EXPERIMENTS.items():
+            doc = (driver.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:18s} {doc}")
+        return 0
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    results = []
+    for name in names:
+        started = time.perf_counter()
+        result = run_experiment(name, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        results.append(result)
+        if args.format == "text" and args.output is None:
+            print(result.render())
+            print(f"({elapsed:.1f}s)")
+            print()
+
+    if args.format == "csv":
+        rendered = results_to_csv(results)
+    elif args.format == "json":
+        rendered = results_to_json(results)
+    else:
+        rendered = "\n\n".join(result.render() for result in results)
+
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote {len(results)} experiment(s) to {args.output}")
+    elif args.format != "text":
+        print(rendered)
+
+    if args.compare is not None:
+        deltas, missing = compare_run(args.compare, results, args.tolerance)
+        for name in missing:
+            print(f"(no baseline for {name})")
+        if deltas:
+            print(f"{len(deltas)} cell(s) moved more than "
+                  f"{args.tolerance:.0%} vs {args.compare}:")
+            for delta in deltas:
+                print(f"  {delta.render()}")
+            return 1
+        print(f"no regressions vs {args.compare} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Machine-readable export of experiment results (CSV / JSON)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable
+
+from repro.bench.reporting import ExperimentResult
+
+
+def result_to_json(result: ExperimentResult) -> str:
+    """One experiment as a JSON document (records orientation)."""
+    return json.dumps(
+        {
+            "experiment": result.experiment,
+            "title": result.title,
+            "parameters": result.parameters,
+            "notes": result.notes,
+            "columns": list(result.columns),
+            "rows": [list(row) for row in result.rows],
+        },
+        default=str,
+        indent=2,
+    )
+
+
+def results_to_json(results: Iterable[ExperimentResult]) -> str:
+    """A run of several experiments as one JSON array."""
+    documents = [json.loads(result_to_json(result)) for result in results]
+    return json.dumps(documents, indent=2)
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """One experiment as CSV with an ``experiment`` discriminator column."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["experiment", *result.columns])
+    for row in result.rows:
+        writer.writerow([result.experiment, *row])
+    return buffer.getvalue()
+
+
+def results_to_csv(results: Iterable[ExperimentResult]) -> str:
+    """Several experiments concatenated; each keeps its own header block."""
+    return "\n".join(result_to_csv(result) for result in results)

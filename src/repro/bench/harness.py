@@ -1,0 +1,82 @@
+"""Timing utilities: throughput and latency-percentile measurement.
+
+The paper's metrics (§VI-A1): Throughput in Mops (million operations per
+second) and latency percentiles (tail latency shows update behaviour when
+the structure is nearly full).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A timed batch of operations."""
+
+    ops: int
+    seconds: float
+
+    @property
+    def mops(self) -> float:
+        """Million operations per second."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.ops / self.seconds / 1e6
+
+    @property
+    def kops(self) -> float:
+        """Thousand operations per second."""
+        return self.mops * 1e3
+
+
+@dataclass(frozen=True)
+class Percentiles:
+    """Latency percentiles in microseconds."""
+
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+
+    @classmethod
+    def from_samples(cls, samples_us: Sequence[float]) -> "Percentiles":
+        ordered = sorted(samples_us)
+        return cls(
+            p50=_percentile(ordered, 50.0),
+            p90=_percentile(ordered, 90.0),
+            p99=_percentile(ordered, 99.0),
+            p999=_percentile(ordered, 99.9),
+        )
+
+
+def _percentile(ordered: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile over pre-sorted samples."""
+    if not ordered:
+        raise ValueError("no samples")
+    rank = max(1, round(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def measure_ops(fn: Callable[[], None], ops: int) -> Measurement:
+    """Time one call of ``fn`` that performs ``ops`` operations."""
+    started = time.perf_counter()
+    fn()
+    return Measurement(ops=ops, seconds=time.perf_counter() - started)
+
+
+def measure_each(operations: Iterable[Callable[[], None]]) -> List[float]:
+    """Per-operation latencies in microseconds (for percentile plots)."""
+    samples: List[float] = []
+    for operation in operations:
+        started = time.perf_counter()
+        operation()
+        samples.append((time.perf_counter() - started) * 1e6)
+    return samples
+
+
+def latency_percentiles(operations: Iterable[Callable[[], None]]) -> Percentiles:
+    """Run operations one by one and summarise their latency tail."""
+    return Percentiles.from_samples(measure_each(operations))

@@ -1,0 +1,95 @@
+"""Terminal bar charts for experiment series (no plotting dependency).
+
+The paper's figures are line plots; this renders their terminal
+equivalent — one bar per (x, series) pair, scaled within the chart — so a
+reproduction run can be eyeballed for shape (who wins, where the crossover
+falls) without leaving the console.
+
+    from repro.bench import run_experiment
+    from repro.bench.plotting import chart
+
+    result = run_experiment("fig8", scale=0.25)
+    print(chart(result, x="L", y="Mops", series="algorithm",
+                where={"sweep": "vs L"}))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bench.reporting import ExperimentResult
+
+_BAR = "█"
+_MAX_WIDTH = 40
+
+
+def _select(result: ExperimentResult, where: Optional[Dict]) -> List[dict]:
+    records = [dict(zip(result.columns, row)) for row in result.rows]
+    if where:
+        records = [
+            record for record in records
+            if all(record.get(k) == v for k, v in where.items())
+        ]
+    return records
+
+
+def chart(
+    result: ExperimentResult,
+    x: str,
+    y: str,
+    series: Optional[str] = None,
+    where: Optional[Dict] = None,
+    width: int = _MAX_WIDTH,
+) -> str:
+    """Render one metric column as horizontal bars, grouped by a series.
+
+    Bars are linearly scaled to the largest ``y`` in the selection, so
+    relative magnitudes — the reproduced claims — are what the eye reads.
+    """
+    records = _select(result, where)
+    if not records:
+        raise ValueError("no rows match the selection")
+    for column in (x, y):
+        if column not in result.columns:
+            raise ValueError(f"unknown column {column!r}")
+    # Keep only rows whose metric is numeric (mixed columns, e.g. a few
+    # formatted-string rows, simply drop out of the chart).
+    records = [
+        record for record in records
+        if isinstance(record[y], (int, float))
+        and not isinstance(record[y], bool)
+    ]
+    if not records:
+        raise ValueError(f"column {y!r} has no numeric rows in the selection")
+    top = max(record[y] for record in records) or 1
+
+    label_of = (
+        (lambda record: f"{record[series]} @ {x}={record[x]}")
+        if series else (lambda record: f"{x}={record[x]}")
+    )
+    labels = [label_of(record) for record in records]
+    pad = max(len(label) for label in labels)
+
+    lines = [f"{result.experiment}: {y}" + (f" by {series}" if series else "")]
+    previous_series = None
+    for record, label in zip(records, labels):
+        if series and record[series] != previous_series:
+            if previous_series is not None:
+                lines.append("")
+            previous_series = record[series]
+        bar = _BAR * max(1, round(record[y] / top * width))
+        lines.append(f"{label.ljust(pad)}  {bar} {record[y]:g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: List[float]) -> str:
+    """A one-line trend: ▁▂▃▄▅▆▇█ scaled to the value range."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    low = min(values)
+    span = (max(values) - low) or 1.0
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - low) / span * (len(blocks) - 1)))]
+        for v in values
+    )

@@ -1,0 +1,149 @@
+"""Regression comparison of experiment results across runs.
+
+`python -m repro.bench --format json --output baseline.json` records a
+run; `python -m repro.bench --compare baseline.json` re-runs and reports,
+per experiment, which numeric cells moved by more than a tolerance. Rows
+are matched on their non-numeric label cells (algorithm, n, sweep, …), so
+reordered output still compares correctly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.reporting import ExperimentResult
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One numeric cell that moved between runs."""
+
+    experiment: str
+    row_label: str
+    column: str
+    before: float
+    after: float
+
+    @property
+    def ratio(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 1.0
+        return self.after / self.before
+
+    def render(self) -> str:
+        return (
+            f"{self.experiment} [{self.row_label}] {self.column}: "
+            f"{self.before:g} -> {self.after:g} (x{self.ratio:.2f})"
+        )
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_metric(value) -> bool:
+    """Floats are measurements; ints and strings are row labels.
+
+    Drivers encode parameters (n, L, seed, threads, …) as ints and
+    measured quantities (Mops, space cost, latency) as floats, so this
+    split keeps e.g. the five per-seed rows of fig10 distinct while still
+    comparing their throughput columns.
+    """
+    return isinstance(value, float)
+
+
+def _row_key(columns: Sequence[str], row: Sequence) -> Tuple[str, ...]:
+    """Identify a row by its label cells (everything except metrics)."""
+    return tuple(
+        f"{col}={cell}"
+        for col, cell in zip(columns, row)
+        if not _is_metric(cell)
+    )
+
+
+def result_to_document(result: ExperimentResult) -> dict:
+    return {
+        "experiment": result.experiment,
+        "columns": list(result.columns),
+        "rows": [list(row) for row in result.rows],
+    }
+
+
+def load_baseline(path: str) -> Dict[str, dict]:
+    """Read a ``--format json`` output file into {experiment: document}."""
+    with open(path) as handle:
+        documents = json.load(handle)
+    if isinstance(documents, dict):
+        documents = [documents]
+    return {doc["experiment"]: doc for doc in documents}
+
+
+def compare_documents(
+    baseline: dict, current: dict, tolerance: float = 0.5
+) -> List[Delta]:
+    """Numeric cells whose relative change exceeds ``tolerance``.
+
+    ``tolerance=0.5`` flags anything that moved by more than ±50% — loose
+    on purpose, since most cells are timing measurements.
+    """
+    columns = baseline["columns"]
+    if current["columns"] != columns:
+        # Schema changed: report everything as incomparable via one delta.
+        return [
+            Delta(
+                experiment=baseline["experiment"],
+                row_label="<schema>",
+                column="columns",
+                before=len(columns),
+                after=len(current["columns"]),
+            )
+        ]
+    baseline_rows = {
+        _row_key(columns, row): row for row in baseline["rows"]
+    }
+    deltas: List[Delta] = []
+    for row in current["rows"]:
+        key = _row_key(columns, row)
+        old_row = baseline_rows.get(key)
+        if old_row is None:
+            continue
+        for col, old_cell, new_cell in zip(columns, old_row, row):
+            if not (_is_number(old_cell) and _is_number(new_cell)):
+                continue
+            reference = max(abs(old_cell), abs(new_cell), 1e-12)
+            if abs(new_cell - old_cell) / reference > tolerance:
+                deltas.append(
+                    Delta(
+                        experiment=baseline["experiment"],
+                        row_label=", ".join(key),
+                        column=col,
+                        before=float(old_cell),
+                        after=float(new_cell),
+                    )
+                )
+    return deltas
+
+
+def compare_run(
+    baseline_path: str,
+    results: Iterable[ExperimentResult],
+    tolerance: float = 0.5,
+) -> Tuple[List[Delta], List[str]]:
+    """Compare fresh results against a stored baseline file.
+
+    Returns (deltas, experiments missing from the baseline).
+    """
+    baseline = load_baseline(baseline_path)
+    deltas: List[Delta] = []
+    missing: List[str] = []
+    for result in results:
+        document = baseline.get(result.experiment)
+        if document is None:
+            missing.append(result.experiment)
+            continue
+        deltas.extend(
+            compare_documents(document, result_to_document(result), tolerance)
+        )
+    return deltas, missing

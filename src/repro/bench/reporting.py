@@ -1,0 +1,59 @@
+"""Result containers and plain-text table rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[_format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(row[i]) for row in cells)) if cells else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(w) for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+    ]
+    return "\n".join([header, rule, *body])
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: labelled rows plus context notes."""
+
+    experiment: str
+    title: str
+    columns: List[str]
+    rows: List[Sequence[Any]]
+    notes: str = ""
+    parameters: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The full human-readable report for this experiment."""
+        lines = [f"== {self.experiment}: {self.title} =="]
+        if self.parameters:
+            params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+            lines.append(f"parameters: {params}")
+        lines.append(format_table(self.columns, self.rows))
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, by header name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]

@@ -1,0 +1,174 @@
+"""YCSB-style mixed workloads over value-only tables.
+
+The paper evaluates operations in isolation (all-insert, all-lookup,
+all-delete passes); a downstream adopter's first question is how the
+tables behave under *mixed* traffic. This module implements the applicable
+YCSB core workloads:
+
+========  =========================================  =================
+workload  mix                                        request distribution
+========  =========================================  =================
+A         50% read / 50% update                      zipfian
+B         95% read / 5% update                       zipfian
+C         100% read                                  zipfian
+D         95% read / 5% insert                       latest
+F         read-modify-write (read + update pairs)    zipfian
+========  =========================================  =================
+
+Workload E (short range scans) is omitted *structurally*: value-only
+tables store no keys, so they cannot enumerate or scan — an inherent VO
+limitation worth stating rather than papering over.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.synthetic import zipf_queries
+from repro.table import ValueOnlyTable
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One YCSB core workload: operation mix + request distribution."""
+
+    name: str
+    read_fraction: float
+    update_fraction: float
+    insert_fraction: float
+    read_modify_write: bool = False
+    distribution: str = "zipfian"  # or "latest"
+
+    def __post_init__(self) -> None:
+        total = self.read_fraction + self.update_fraction + self.insert_fraction
+        if not (abs(total - 1.0) < 1e-9 or self.read_modify_write):
+            raise ValueError("operation fractions must sum to 1")
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    "A": WorkloadSpec("A", read_fraction=0.5, update_fraction=0.5,
+                      insert_fraction=0.0),
+    "B": WorkloadSpec("B", read_fraction=0.95, update_fraction=0.05,
+                      insert_fraction=0.0),
+    "C": WorkloadSpec("C", read_fraction=1.0, update_fraction=0.0,
+                      insert_fraction=0.0),
+    "D": WorkloadSpec("D", read_fraction=0.95, update_fraction=0.0,
+                      insert_fraction=0.05, distribution="latest"),
+    "F": WorkloadSpec("F", read_fraction=0.5, update_fraction=0.5,
+                      insert_fraction=0.0, read_modify_write=True),
+}
+
+#: (op, key, value) — op in {"read", "update", "insert", "rmw"}.
+Operation = Tuple[str, int, int]
+
+
+def generate_operations(
+    spec: WorkloadSpec,
+    preloaded_keys: np.ndarray,
+    count: int,
+    seed: int,
+    value_bits: int = 8,
+) -> List[Operation]:
+    """Materialise an operation trace for a workload.
+
+    ``preloaded_keys`` is the key population already inserted; reads and
+    updates target it by the spec's distribution, inserts draw fresh keys.
+    """
+    rng = np.random.default_rng(seed)
+    keys = np.asarray(preloaded_keys, dtype=np.uint64)
+    if spec.distribution == "zipfian":
+        targets = zipf_queries(keys, count, seed, alpha=0.99)
+    elif spec.distribution == "latest":
+        # "Latest": skew toward recently inserted items — model as zipf
+        # over the reversed insertion order.
+        targets = zipf_queries(keys[::-1], count, seed, alpha=0.99)
+    else:
+        raise ValueError(f"unknown distribution {spec.distribution!r}")
+
+    rolls = rng.random(count)
+    values = rng.integers(0, (1 << value_bits) - 1, size=count,
+                          dtype=np.uint64, endpoint=True)
+    fresh = iter(
+        np.unique(rng.integers(1 << 48, 1 << 49, size=2 * count,
+                               dtype=np.uint64)).tolist()
+    )
+
+    operations: List[Operation] = []
+    for i in range(count):
+        target = int(targets[i])
+        value = int(values[i])
+        if spec.read_modify_write:
+            op = "rmw" if rolls[i] < 0.5 else "read"
+        elif rolls[i] < spec.read_fraction:
+            op = "read"
+        elif rolls[i] < spec.read_fraction + spec.update_fraction:
+            op = "update"
+        else:
+            op = "insert"
+            target = next(fresh)
+        operations.append((op, target, value))
+    return operations
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Outcome of running one workload trace against one table."""
+
+    workload: str
+    algorithm: str
+    operations: int
+    seconds: float
+    reads: int
+    writes: int
+    failures: int
+
+    @property
+    def mops(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.operations / self.seconds / 1e6
+
+
+def run_workload(
+    table: ValueOnlyTable,
+    operations: Sequence[Operation],
+    workload_name: str = "?",
+) -> WorkloadResult:
+    """Execute a trace; the table must already hold the preloaded keys."""
+    reads = 0
+    writes = 0
+    failures_before = table.failure_events
+    started = time.perf_counter()
+    for op, key, value in operations:
+        if op == "read":
+            table.lookup(key)
+            reads += 1
+        elif op == "update":
+            table.update(key, value)
+            writes += 1
+        elif op == "insert":
+            table.insert(key, value)
+            writes += 1
+        elif op == "rmw":
+            # Read-modify-write: the written value depends on the read.
+            current = table.lookup(key)
+            mask = (1 << table.value_bits) - 1
+            table.update(key, (current ^ value) & mask)
+            reads += 1
+            writes += 1
+        else:  # pragma: no cover - trace generator guards this
+            raise ValueError(f"unknown operation {op!r}")
+    elapsed = time.perf_counter() - started
+    return WorkloadResult(
+        workload=workload_name,
+        algorithm=table.name,
+        operations=len(operations),
+        seconds=elapsed,
+        reads=reads,
+        writes=writes,
+        failures=table.failure_events - failures_before,
+    )

@@ -1,0 +1,44 @@
+"""VisionEmbedder core: the paper's primary contribution.
+
+The public entry point is :class:`repro.core.embedder.VisionEmbedder`; the
+other modules are its substrates (value table, assistant table, update
+strategies) and the thread-safe wrapper from §IV-B of the paper.
+"""
+
+from repro.core.config import EmbedderConfig, DepthPolicy
+from repro.core.errors import (
+    ReproError,
+    UpdateFailure,
+    SpaceExhausted,
+    ReconstructionFailed,
+    KeyNotFound,
+    DuplicateKey,
+)
+from repro.core.value_table import ValueTable
+from repro.core.assistant_table import AssistantTable
+from repro.core.embedder import VisionEmbedder
+from repro.core.concurrent import ConcurrentVisionEmbedder
+from repro.core.persist import load_embedder, save_embedder
+from repro.core.replication import (
+    DataPlaneReplica,
+    PublishingVisionEmbedder,
+)
+
+__all__ = [
+    "EmbedderConfig",
+    "DepthPolicy",
+    "ReproError",
+    "UpdateFailure",
+    "SpaceExhausted",
+    "ReconstructionFailed",
+    "KeyNotFound",
+    "DuplicateKey",
+    "ValueTable",
+    "AssistantTable",
+    "VisionEmbedder",
+    "ConcurrentVisionEmbedder",
+    "save_embedder",
+    "load_embedder",
+    "PublishingVisionEmbedder",
+    "DataPlaneReplica",
+]

@@ -1,0 +1,172 @@
+"""Thread-safe VisionEmbedder (§IV-B "Concurrency").
+
+The paper's design splits an update into two parts — part 1 write-locks the
+key's three "units" (cell + assistant entries) and computes the fixed XOR
+increment ``V_delta``; part 2 finds the modification path ``S_delta`` under
+read locks and applies ``V_delta`` to each cell with an atomic XOR. Lookups
+never lock: they read the value table directly, so a concurrent
+path-application may be observed partially (the paper's data plane behaves
+the same way).
+
+This Python port keeps the same structure and visibility semantics but
+adapts the locking to CPython:
+
+- Mutations (insert / update / delete / reconstruct) are serialised by one
+  update mutex. Under the GIL, fine-grained per-unit writer locks cannot
+  run update work in parallel anyway, and per-cell "atomic XOR" does not
+  exist for numpy scalars — a read-modify-write races. Serialising writers
+  is the honest equivalent that preserves correctness.
+- Lookups take no lock in the steady state, exactly like the paper's data
+  plane. Only reconstruction — which rebuilds the whole table in place —
+  excludes them, via a readers-writer gate (:class:`RWLock`, the library's
+  SharedMutex equivalent).
+
+Fig 13's multi-threaded *lookup* scaling is reproduced through
+``lookup_batch``, whose numpy kernels release the GIL; multi-threaded
+*update* scaling cannot materialise in pure CPython and EXPERIMENTS.md
+reports that divergence.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import EmbedderConfig
+from repro.core.embedder import VisionEmbedder
+from repro.table import Key
+
+
+class RWLock:
+    """A writer-preferring readers-writer lock (SharedMutex equivalent)."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    class _ReadContext:
+        def __init__(self, lock: "RWLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_read()
+            return self
+
+        def __exit__(self, *exc):
+            self._lock.release_read()
+            return False
+
+    class _WriteContext:
+        def __init__(self, lock: "RWLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_write()
+            return self
+
+        def __exit__(self, *exc):
+            self._lock.release_write()
+            return False
+
+    def read(self) -> "_ReadContext":
+        """Context manager acquiring the lock in shared mode."""
+        return RWLock._ReadContext(self)
+
+    def write(self) -> "_WriteContext":
+        """Context manager acquiring the lock in exclusive mode."""
+        return RWLock._WriteContext(self)
+
+
+class ConcurrentVisionEmbedder(VisionEmbedder):
+    """VisionEmbedder safe for concurrent lookups and updates.
+
+    Lookups are lock-free except against reconstruction; all mutations are
+    serialised. See the module docstring for how this maps onto the paper's
+    per-unit locking.
+    """
+
+    name = "vision-mt"
+
+    def __init__(
+        self,
+        capacity: int,
+        value_bits: int,
+        config: Optional[EmbedderConfig] = None,
+        seed: int = 1,
+        num_arrays: int = 3,
+        packed: bool = False,
+    ):
+        super().__init__(capacity, value_bits, config=config, seed=seed,
+                         num_arrays=num_arrays, packed=packed)
+        # Reentrant: insert/update may trigger reconstruct() internally.
+        self._update_mutex = threading.RLock()
+        self._rebuild_gate = RWLock()
+
+    # -- mutations: serialised -----------------------------------------
+
+    def insert(self, key: Key, value: int) -> None:
+        with self._update_mutex:
+            super().insert(key, value)
+
+    def update(self, key: Key, value: int) -> None:
+        with self._update_mutex:
+            super().update(key, value)
+
+    def delete(self, key: Key) -> None:
+        with self._update_mutex:
+            super().delete(key)
+
+    def reconstruct(self, method: str = "dynamic") -> None:
+        # Reconstruction rewrites the whole fast space: serialise against
+        # other mutations (reentrant when reached from insert/update) and
+        # exclude in-flight readers via the gate.
+        with self._update_mutex:
+            with self._rebuild_gate.write():
+                super().reconstruct(method)
+
+    def bulk_load(self, pairs) -> None:
+        # Static construction rewrites the whole fast space too.
+        with self._update_mutex:
+            with self._rebuild_gate.write():
+                super().bulk_load(pairs)
+
+    # -- lookups: lock-free against updates, gated against rebuilds ----
+
+    def lookup(self, key: Key) -> int:
+        with self._rebuild_gate.read():
+            return super().lookup(key)
+
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        with self._rebuild_gate.read():
+            return super().lookup_batch(keys)

@@ -1,0 +1,411 @@
+"""VisionEmbedder: the paper's compact value-only key-value table.
+
+Lookup reads three cells (one per array, selected by three independent hash
+functions) and XORs them — constant time, fast-space only. Dynamic updates
+run the vision-update search of §IV over the slow-space assistant table,
+then apply one XOR increment along the resulting modification path. Failed
+updates reconstruct with fresh hash seeds when the table is lightly loaded
+and surface :class:`SpaceExhausted` when it is genuinely full, exactly per
+the paper's §IV-B failure policy.
+
+Typical use::
+
+    from repro import VisionEmbedder
+
+    table = VisionEmbedder(capacity=10_000, value_bits=8, seed=7)
+    table.insert("alpha", 42)
+    assert table.lookup("alpha") == 42
+    table.update("alpha", 17)
+    table.delete("alpha")
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.assistant_table import AssistantTable
+from repro.core.config import EmbedderConfig
+from repro.core.packed_table import PackedValueTable
+from repro.core.errors import (
+    DuplicateKey,
+    KeyNotFound,
+    ReconstructionFailed,
+    SpaceExhausted,
+    UpdateFailure,
+)
+from repro.core.stats import TableStats
+from repro.core.static_build import static_build
+from repro.core.update import make_strategy, search_update_path
+from repro.core.value_table import ValueTable
+from repro.hashing import HashFamily, key_to_u64
+from repro.table import Key, ValueOnlyTable
+
+Cell = Tuple[int, int]
+
+
+class VisionEmbedder(ValueOnlyTable):
+    """Value-only KV table with constant lookup and vision updates.
+
+    Parameters
+    ----------
+    capacity:
+        Expected maximum number of KV pairs; the value table is provisioned
+        with ``config.space_factor`` cells per expected pair (paper default
+        1.7, i.e. 1.7·L bits per pair).
+    value_bits:
+        L — the value length in bits (1..64).
+    config:
+        Tunables; see :class:`repro.core.config.EmbedderConfig`.
+    seed:
+        Master hash seed. Reconstruction bumps it deterministically.
+    packed:
+        Store the fast space bit-packed (⌈m·L/64⌉ words of RAM — the
+        title's bit-level compactness realised in memory) instead of one
+        word per cell. Packed lookups cost a little more Python-side;
+        semantics are identical.
+    """
+
+    name = "vision"
+
+    def __init__(
+        self,
+        capacity: int,
+        value_bits: int,
+        config: Optional[EmbedderConfig] = None,
+        seed: int = 1,
+        num_arrays: int = 3,
+        packed: bool = False,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.config = config if config is not None else EmbedderConfig()
+        self.capacity = capacity
+        self._value_bits = value_bits
+        self.num_arrays = num_arrays
+        self.packed = packed
+        width = max(1, math.ceil(capacity * self.config.space_factor / num_arrays))
+        table_class = PackedValueTable if packed else ValueTable
+        self._table = table_class(width, value_bits, num_arrays)
+        self._assistant = AssistantTable(width, num_arrays)
+        self._seed = seed
+        self._hashes = HashFamily(seed, [width] * num_arrays)
+        self._strategy = make_strategy(
+            self.config.strategy,
+            self.config.depth_policy,
+            random.Random(seed ^ 0xA5A5A5A5),
+        )
+        self._retry_rng = random.Random(seed ^ 0x0F0F0F0F)
+        self._stats = TableStats()
+        self._in_reconstruct = False
+
+    # ------------------------------------------------------------------
+    # ValueOnlyTable surface
+    # ------------------------------------------------------------------
+
+    @property
+    def value_bits(self) -> int:
+        return self._value_bits
+
+    @property
+    def space_bits(self) -> int:
+        return self._table.space_bits
+
+    @property
+    def stats(self) -> TableStats:
+        return self._stats
+
+    @property
+    def seed(self) -> int:
+        """The current master hash seed (changes on reconstruction)."""
+        return self._seed
+
+    @property
+    def num_cells(self) -> int:
+        """m: the number of value-table cells."""
+        return self._table.num_cells
+
+    @property
+    def space_efficiency(self) -> float:
+        """n/m — the paper's space-efficiency metric (§IV-B)."""
+        return len(self._assistant) / self._table.num_cells
+
+    def __len__(self) -> int:
+        return len(self._assistant)
+
+    def __contains__(self, key: Key) -> bool:
+        return key_to_u64(key) in self._assistant
+
+    def lookup(self, key: Key) -> int:
+        """XOR of the key's three cells — fast space only, O(1)."""
+        handle = key_to_u64(key)
+        return self._table.xor_sum(self._cells_for(handle))
+
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised lookup over a ``uint64`` key array."""
+        index_arrays = self._hashes.indices_batch(np.asarray(keys, dtype=np.uint64))
+        return self._table.lookup_batch(index_arrays)
+
+    def insert(self, key: Key, value: int) -> None:
+        """Insert a new pair; dynamic update per §IV."""
+        handle = key_to_u64(key)
+        if handle in self._assistant:
+            raise DuplicateKey(f"key {key!r} already inserted")
+        self._check_value(value)
+        self._assistant.add(handle, value, self._cells_for(handle))
+        try:
+            self._run_update(handle)
+        except SpaceExhausted:
+            # The deferred search left the value table untouched, so
+            # dropping the assistant entry restores full consistency.
+            self._assistant.remove(handle)
+            raise
+
+    def update(self, key: Key, value: int) -> None:
+        """Change the value of an existing key; dynamic update per §IV."""
+        handle = key_to_u64(key)
+        if handle not in self._assistant:
+            raise KeyNotFound(f"key {key!r} not inserted")
+        self._check_value(value)
+        old_value = self._assistant.value(handle)
+        self._assistant.set_value(handle, value)
+        try:
+            self._run_update(handle)
+        except SpaceExhausted:
+            # Value table untouched on failure; restore the old value so
+            # the existing pair remains correct.
+            self._assistant.set_value(handle, old_value)
+            raise
+
+    def delete(self, key: Key) -> None:
+        """Remove a pair — slow-space only; the value table is untouched.
+
+        Per §IV-C: VO tables return meaningless values for alien keys
+        anyway, so deletion only needs to decrement the counters and drop
+        the key from its buckets, after which the pair no longer constrains
+        updates.
+        """
+        handle = key_to_u64(key)
+        if handle not in self._assistant:
+            raise KeyNotFound(f"key {key!r} not inserted")
+        self._assistant.remove(handle)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[Tuple[Key, int]],
+        value_bits: int,
+        config: Optional[EmbedderConfig] = None,
+        seed: int = 1,
+        capacity: Optional[int] = None,
+        static: bool = False,
+    ) -> "VisionEmbedder":
+        """Build a table holding ``pairs``.
+
+        ``static=True`` uses the O(n) peeling construction (§IV-C) instead
+        of n dynamic inserts — much faster for bulk loads, identical
+        result.
+        """
+        pair_list = list(pairs)
+        if capacity is None:
+            capacity = max(1, len(pair_list))
+        table = cls(capacity, value_bits, config=config, seed=seed)
+        if static:
+            table.bulk_load(pair_list)
+        else:
+            table.insert_many(pair_list)
+        return table
+
+    def bulk_load(self, pairs: Iterable[Tuple[Key, int]]) -> None:
+        """Statically (re)build the table holding existing + new pairs.
+
+        Uses the Bloomier-style greedy peel (§II "Static Construction",
+        offered for reconstruction in §IV-C): O(n) total rather than n
+        dynamic repair walks, succeeding with near-certainty at the default
+        1.7 cells/key. Reseeds and retries on the rare peel stall.
+        """
+        new_pairs = []
+        seen = set()
+        for key, value in pairs:
+            handle = key_to_u64(key)
+            if handle in self._assistant or handle in seen:
+                raise DuplicateKey(f"key {key!r} already inserted")
+            self._check_value(value)
+            seen.add(handle)
+            new_pairs.append((handle, value))
+        all_pairs = [(k, v) for k, v in self._assistant.pairs()]
+        all_pairs.extend(new_pairs)
+
+        for _ in range(self.config.max_reconstruct_attempts):
+            self._table.clear()
+            self._assistant.clear()
+            try:
+                static_build(
+                    self._table,
+                    self._assistant,
+                    (
+                        (key, self._cells_for(key), value)
+                        for key, value in all_pairs
+                    ),
+                )
+            except UpdateFailure:
+                self._stats.update_failures += 1
+                self._stats.reconstructions += 1
+                self._seed += 1
+                self._hashes = self._hashes.reseeded(self._seed)
+                continue
+            self._stats.updates += len(new_pairs)
+            return
+        raise ReconstructionFailed(
+            f"static peel failed for {self.config.max_reconstruct_attempts} "
+            "seeds"
+        )
+
+    # ------------------------------------------------------------------
+    # Update machinery
+    # ------------------------------------------------------------------
+
+    def _cells_for(self, handle: int) -> Tuple[Cell, ...]:
+        return tuple(enumerate(self._hashes.indices(handle)))
+
+    def _check_value(self, value: int) -> None:
+        if not 0 <= value <= self._table.value_mask:
+            raise ValueError(
+                f"value {value} out of range for {self._value_bits}-bit values"
+            )
+
+    def _run_update(self, handle: int) -> None:
+        """Search for a modification path and apply it; handle failure."""
+        try:
+            plan = search_update_path(
+                self._table,
+                self._assistant,
+                handle,
+                self._strategy,
+                self.space_efficiency,
+                self.config.max_repair_steps,
+                max_attempts=self.config.max_search_attempts,
+                rng=self._retry_rng,
+            )
+        except UpdateFailure as failure:
+            self._stats.update_failures += 1
+            self._stats.repair_steps += failure.steps
+            self._handle_failure()
+            return
+        plan.apply(self._table)
+        self._stats.updates += 1
+        self._stats.repair_steps += plan.steps
+
+    def _handle_failure(self) -> None:
+        """Apply the paper's failure policy (§IV-B "Update Failure")."""
+        if self._in_reconstruct:
+            # Let reconstruct() count this attempt and try the next seed.
+            raise UpdateFailure("update failed during reconstruction")
+        if self.space_efficiency >= self.config.reconstruct_efficiency_limit:
+            raise SpaceExhausted(
+                f"space efficiency {self.space_efficiency:.3f} is at or above "
+                f"{self.config.reconstruct_efficiency_limit}; remove entries or "
+                "resize the table"
+            )
+        if not self.config.auto_reconstruct:
+            raise SpaceExhausted(
+                "update failed and auto_reconstruct is disabled"
+            )
+        self.reconstruct()
+
+    def reconstruct(self, method: str = "dynamic") -> None:
+        """Reseed all hash functions and rebuild both tables (§IV-C).
+
+        ``method`` selects how the value table is repopulated, per the
+        paper: ``"dynamic"`` re-inserts pair by pair with the update
+        scheme; ``"static"`` runs the O(n) peeling construction.
+
+        Each rebuild pass (reseed + rebuild) increments
+        ``stats.reconstructions``; wall time accumulates in
+        ``stats.reconstruct_seconds`` so throughput experiments can exclude
+        it (Fig 6). Raises :class:`ReconstructionFailed` if no seed within
+        the retry budget succeeds.
+        """
+        if method not in ("dynamic", "static"):
+            raise ValueError("method must be 'dynamic' or 'static'")
+        pairs = [(key, value) for key, value in self._assistant.pairs()]
+        started = time.perf_counter()
+        self._in_reconstruct = True
+        try:
+            for _ in range(self.config.max_reconstruct_attempts):
+                self._stats.reconstructions += 1
+                self._seed += 1
+                self._hashes = self._hashes.reseeded(self._seed)
+                self._table.clear()
+                self._assistant.clear()
+                if method == "static":
+                    try:
+                        static_build(
+                            self._table,
+                            self._assistant,
+                            (
+                                (key, self._cells_for(key), value)
+                                for key, value in pairs
+                            ),
+                        )
+                        return
+                    except UpdateFailure:
+                        continue
+                elif self._try_rebuild(pairs):
+                    return
+            raise ReconstructionFailed(
+                f"no working seed within {self.config.max_reconstruct_attempts} "
+                "reconstruction attempts"
+            )
+        finally:
+            self._in_reconstruct = False
+            self._stats.reconstruct_seconds += time.perf_counter() - started
+
+    def _try_rebuild(self, pairs) -> bool:
+        """One rebuild pass; False if any insert's update fails."""
+        for inserted, (key, value) in enumerate(pairs):
+            self._assistant.add(key, value, self._cells_for(key))
+            try:
+                plan = search_update_path(
+                    self._table,
+                    self._assistant,
+                    key,
+                    self._strategy,
+                    (inserted + 1) / self._table.num_cells,
+                    self.config.max_repair_steps,
+                    max_attempts=self.config.max_search_attempts,
+                    rng=self._retry_rng,
+                )
+            except UpdateFailure:
+                return False
+            plan.apply(self._table)
+            self._stats.repair_steps += plan.steps
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert every live key's equation holds and bookkeeping agrees."""
+        self._assistant.check_consistency()
+        for key, value in self._assistant.pairs():
+            actual = self._table.xor_sum(self._assistant.cells(key))
+            assert actual == value, (
+                f"equation broken for key {key}: table says {actual}, "
+                f"assistant says {value}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VisionEmbedder(n={len(self)}, m={self.num_cells}, "
+            f"L={self._value_bits}, strategy={self.config.strategy!r})"
+        )

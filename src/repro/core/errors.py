@@ -1,0 +1,41 @@
+"""Exception hierarchy shared by every table in the reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class UpdateFailure(ReproError):
+    """A dynamic update did not terminate within the repair-step budget.
+
+    The paper (§IV-B, "Update Failure") defines this as the Update function
+    looping more than 50 times. Internal: tables catch this and either
+    reconstruct (low occupancy) or surface :class:`SpaceExhausted`.
+    """
+
+    def __init__(self, message: str = "update did not converge", steps: int = 0):
+        super().__init__(message)
+        self.steps = steps
+
+
+class SpaceExhausted(ReproError):
+    """The table is too full for updates to converge; resize or remove keys.
+
+    Raised instead of silently reconstructing when space efficiency is at or
+    above the paper's 0.6 threshold, where failures indicate a genuine lack
+    of space rather than hash bad luck.
+    """
+
+
+class ReconstructionFailed(ReproError):
+    """Reconstruction did not succeed within the retry budget."""
+
+
+class KeyNotFound(ReproError, KeyError):
+    """An operation that requires an inserted key was given an alien key."""
+
+
+class DuplicateKey(ReproError, ValueError):
+    """``insert`` was called for a key that is already present."""

@@ -1,0 +1,123 @@
+"""Persistence: serialise a VisionEmbedder to a file and back.
+
+The format is a single ``numpy`` ``.npz`` archive holding the fast space
+(cell matrix), the slow space (parallel key/value arrays — cells are
+recomputed from the seed on load), and a small metadata vector. No pickle
+is involved, so the files are safe to load from untrusted sources and
+stable across Python versions.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.core.config import DepthPolicy, EmbedderConfig
+from repro.core.embedder import VisionEmbedder
+
+_FORMAT_VERSION = 1
+
+PathOrFile = Union[str, os.PathLike, io.IOBase]
+
+
+def save_embedder(table: VisionEmbedder, target: PathOrFile) -> None:
+    """Write ``table`` (fast + slow space) to ``target``.
+
+    ``target`` may be a path or a writable binary file object.
+    """
+    keys = np.fromiter(
+        (key for key, _ in table._assistant.pairs()),
+        dtype=np.uint64,
+        count=len(table),
+    )
+    values = np.fromiter(
+        (value for _, value in table._assistant.pairs()),
+        dtype=np.uint64,
+        count=len(table),
+    )
+    config = table.config
+    meta = np.array(
+        [
+            _FORMAT_VERSION,
+            table.capacity,
+            table.value_bits,
+            table.num_arrays,
+            table.seed,
+            config.max_repair_steps,
+            config.max_search_attempts,
+            config.max_reconstruct_attempts,
+            1 if config.auto_reconstruct else 0,
+            1 if config.strategy == "vision" else 0,
+            1 if table.packed else 0,
+        ],
+        dtype=np.int64,
+    )
+    float_meta = np.array(
+        [config.space_factor, config.reconstruct_efficiency_limit],
+        dtype=np.float64,
+    )
+    fast_space = table._table
+    dense = (
+        fast_space.to_dense() if hasattr(fast_space, "to_dense")
+        else fast_space._cells
+    )
+    np.savez(
+        target,
+        meta=meta,
+        float_meta=float_meta,
+        cells=dense,
+        keys=keys,
+        values=values,
+    )
+
+
+def load_embedder(source: PathOrFile) -> VisionEmbedder:
+    """Rebuild a VisionEmbedder written by :func:`save_embedder`.
+
+    The fast space is restored byte-for-byte (no re-insertion, no repair
+    walks); assistant-table cell sets are recomputed from the stored seed.
+    """
+    with np.load(source) as archive:
+        meta = archive["meta"]
+        float_meta = archive["float_meta"]
+        cells = archive["cells"]
+        keys = archive["keys"]
+        values = archive["values"]
+
+    version = int(meta[0])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {version}")
+    config = EmbedderConfig(
+        space_factor=float(float_meta[0]),
+        strategy="vision" if int(meta[9]) else "simple",
+        depth_policy=DepthPolicy(),
+        max_repair_steps=int(meta[5]),
+        max_search_attempts=int(meta[6]),
+        reconstruct_efficiency_limit=float(float_meta[1]),
+        max_reconstruct_attempts=int(meta[7]),
+        auto_reconstruct=bool(int(meta[8])),
+    )
+    packed = bool(int(meta[10])) if len(meta) > 10 else False
+    table = VisionEmbedder(
+        capacity=int(meta[1]),
+        value_bits=int(meta[2]),
+        config=config,
+        seed=int(meta[4]),
+        num_arrays=int(meta[3]),
+        packed=packed,
+    )
+    expected_shape = (table.num_arrays, table._table.width)
+    if cells.shape != expected_shape:
+        raise ValueError(
+            "stored fast space does not match the reconstructed geometry"
+        )
+    if packed:
+        table._table.load_dense(cells.astype(np.uint64))
+    else:
+        table._table._cells = cells.astype(np.uint64, copy=True)
+    for key, value in zip(keys.tolist(), values.tolist()):
+        table._assistant.add(key, value, table._cells_for(key))
+    return table

@@ -1,0 +1,55 @@
+"""Operational counters shared by every table implementation.
+
+The experiment drivers read these to reproduce the paper's failure-frequency
+(Fig 4) and reconstruction-time-excluded throughput (Fig 6) results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TableStats:
+    """Counters a table accumulates over its lifetime.
+
+    Attributes
+    ----------
+    updates:
+        Successful dynamic updates (inserts + value modifications).
+    update_failures:
+        Updates that exhausted the repair budget (or, for the two-hash
+        baselines, hit an unsolvable cycle/collision).
+    reconstructions:
+        Full rebuild passes performed (each reseed-and-reinsert attempt
+        counts once — this is what Fig 4 reports).
+    repair_steps:
+        Total repair recursions across all updates (amortised-cost metric).
+    reconstruct_seconds:
+        Wall-clock time spent inside reconstruction, so throughput can be
+        reported with and without it (Figs 5 vs 6).
+    """
+
+    updates: int = 0
+    update_failures: int = 0
+    reconstructions: int = 0
+    repair_steps: int = 0
+    reconstruct_seconds: float = 0.0
+
+    def snapshot(self) -> "TableStats":
+        """An independent copy of the current counters."""
+        return TableStats(
+            updates=self.updates,
+            update_failures=self.update_failures,
+            reconstructions=self.reconstructions,
+            repair_steps=self.repair_steps,
+            reconstruct_seconds=self.reconstruct_seconds,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.updates = 0
+        self.update_failures = 0
+        self.reconstructions = 0
+        self.repair_steps = 0
+        self.reconstruct_seconds = 0.0

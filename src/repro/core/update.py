@@ -1,0 +1,350 @@
+"""Update algorithms of VisionEmbedder (§IV).
+
+Two decision strategies are provided:
+
+- :class:`SimpleStrategy` (§IV-A): pick the cell to modify uniformly at
+  random, in the spirit of cuckoo hashing's random kick.
+- :class:`VisionStrategy` (§IV-B): estimate, with a depth-bounded DFS
+  (``GetCost``), how many cells each candidate choice would ultimately force
+  us to rewrite, and pick the cheapest. The lookahead depth follows the
+  paper's dynamic schedule (1 → 2 → 3 as the table fills).
+
+Two execution modes implement the repair itself:
+
+- :func:`find_update_path` — the *deferred* mode from the paper's
+  concurrency section: the search records the set of cells to modify
+  (``S_delta``); every cell on the path is then XORed by one fixed increment
+  ``V_delta``. A failed search leaves the value table untouched.
+- :func:`eager_update` — the same walk but rewriting cells as it goes, as
+  Algorithm 1/2 is written. It exists as an executable specification; a
+  property test asserts the two modes produce identical tables.
+
+:func:`search_update_path` layers the paper's "search backtrack feature"
+(§IV-B Concurrency) on top: because a failed deferred search leaves no
+trace, a stuck walk is simply retried with randomised tie-breaking and an
+ε-greedy exploration term plus a larger step budget. Near the occupancy
+where the one-step branching factor crosses 1 (Theorem 1's λ' = 1.709,
+which the default 1.7L budget slightly exceeds when full), the greedy walk
+occasionally cycles even though a repair path exists; a handful of
+randomised retries finds one, cutting measured update failures by an order
+of magnitude and leaving reconstruction for the genuinely unsolvable
+O(1/n) collision events.
+
+Both walks are iterative (explicit work stack), so deep repair chains near
+full occupancy cannot overflow the Python recursion limit.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.core.assistant_table import AssistantTable
+from repro.core.config import DepthPolicy
+from repro.core.errors import UpdateFailure
+from repro.core.value_table import ValueTable
+
+Cell = Tuple[int, int]
+
+
+class UpdateStrategy(ABC):
+    """Decision function: which of a key's cells should be modified."""
+
+    @abstractmethod
+    def choose(
+        self,
+        candidates: List[Cell],
+        from_key: int,
+        assistant: AssistantTable,
+        space_efficiency: float,
+    ) -> Cell:
+        """Pick one cell from ``candidates`` to modify for ``from_key``."""
+
+    def retry_variant(self, attempt: int, rng: random.Random) -> "UpdateStrategy":
+        """The strategy to use on the ``attempt``-th retry (default: self)."""
+        return self
+
+
+class SimpleStrategy(UpdateStrategy):
+    """§IV-A: choose uniformly at random (cuckoo-style random kick)."""
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def choose(
+        self,
+        candidates: List[Cell],
+        from_key: int,
+        assistant: AssistantTable,
+        space_efficiency: float,
+    ) -> Cell:
+        return self._rng.choice(candidates)
+
+
+class VisionStrategy(UpdateStrategy):
+    """§IV-B: pick the candidate with the lowest GetCost estimate.
+
+    ``GetCost(cell)`` is 1 (for the cell itself) plus, for every other
+    equation touching the cell, the cheaper of recursively modifying one of
+    that equation's two remaining cells. At the depth limit the estimate
+    falls back to the bucket counter ``C_j[t]``; with ``MaxDepth = 1`` the
+    strategy therefore degenerates to the basic
+    "modify the cell with the fewest equations" rule the paper describes.
+
+    ``rng``/``epsilon`` add the retry randomisation: ties break randomly,
+    and with probability ε the walk explores a uniformly random candidate
+    instead of the cheapest.
+    """
+
+    def __init__(
+        self,
+        depth_policy: Optional[DepthPolicy] = None,
+        rng: Optional[random.Random] = None,
+        epsilon: float = 0.0,
+    ):
+        self.depth_policy = depth_policy if depth_policy is not None else DepthPolicy()
+        self._rng = rng
+        self.epsilon = epsilon
+
+    def choose(
+        self,
+        candidates: List[Cell],
+        from_key: int,
+        assistant: AssistantTable,
+        space_efficiency: float,
+    ) -> Cell:
+        if self._rng is not None and self.epsilon:
+            if self._rng.random() < self.epsilon:
+                return self._rng.choice(candidates)
+        max_depth = self.depth_policy.depth_for(space_efficiency)
+        best_cell = candidates[0]
+        best_cost = self._get_cost(candidates[0], from_key, 1, max_depth,
+                                   assistant)
+        for cell in candidates[1:]:
+            cost = self._get_cost(cell, from_key, 1, max_depth, assistant)
+            if cost < best_cost or (
+                cost == best_cost
+                and self._rng is not None
+                and self._rng.random() < 0.5
+            ):
+                best_cost = cost
+                best_cell = cell
+        return best_cell
+
+    def _get_cost(
+        self,
+        cell: Cell,
+        from_key: int,
+        depth: int,
+        max_depth: int,
+        assistant: AssistantTable,
+    ) -> int:
+        if depth >= max_depth:
+            return assistant.count_at(cell)
+        cost = 1
+        for key in assistant.keys_at(cell):
+            if key == from_key:
+                continue
+            options = [c for c in assistant.cells(key) if c != cell]
+            cost += min(
+                self._get_cost(option, key, depth + 1, max_depth, assistant)
+                for option in options
+            )
+        return cost
+
+    def retry_variant(self, attempt: int, rng: random.Random) -> "VisionStrategy":
+        """Randomised twin for retry ``attempt`` (ε grows with attempts)."""
+        return VisionStrategy(
+            self.depth_policy, rng=rng, epsilon=min(0.5, 0.1 + 0.05 * attempt)
+        )
+
+
+@dataclass
+class UpdatePlan:
+    """Outcome of a deferred-path search.
+
+    ``path`` is S_delta: the cells to XOR by ``v_delta``; ``steps`` is the
+    number of repair iterations the search took, across retries (the
+    amortised-cost metric).
+    """
+
+    path: Set[Cell]
+    v_delta: int
+    steps: int
+
+    def apply(self, table: ValueTable) -> None:
+        """XOR ``v_delta`` into every cell on the path."""
+        for cell in self.path:
+            table.xor(cell, self.v_delta)
+
+
+def _run_repair_walk(
+    check_consistent: Callable[[int], bool],
+    modify: Callable[[Cell], None],
+    assistant: AssistantTable,
+    key: int,
+    strategy: UpdateStrategy,
+    space_efficiency: float,
+    max_steps: int,
+) -> int:
+    """The shared repair loop of both execution modes.
+
+    Pops (key, pinned-cell) work items; a popped key whose equation already
+    holds is dropped, otherwise one of its non-pinned cells is chosen by
+    the strategy and modified, re-queueing every other key on that cell.
+    Raises :class:`UpdateFailure` when ``max_steps`` items have been
+    processed without quiescing.
+    """
+    steps = 0
+    stack: List[Tuple[int, Optional[Cell]]] = [(key, None)]
+    while stack:
+        current, fixed_cell = stack.pop()
+        steps += 1
+        if steps > max_steps:
+            raise UpdateFailure(steps=steps)
+        if check_consistent(current):
+            continue
+        cells = assistant.cells(current)
+        candidates = [c for c in cells if c != fixed_cell]
+        choice = strategy.choose(candidates, current, assistant,
+                                 space_efficiency)
+        modify(choice)
+        for neighbour in assistant.keys_at(choice):
+            if neighbour != current:
+                stack.append((neighbour, choice))
+    return steps
+
+
+def find_update_path(
+    table: ValueTable,
+    assistant: AssistantTable,
+    key: int,
+    strategy: UpdateStrategy,
+    space_efficiency: float,
+    max_steps: int,
+) -> UpdatePlan:
+    """Search for the modification path that makes ``key``'s equation hold.
+
+    The assistant table must already record the key's (new) value. The value
+    table is *not* modified: on success the returned plan is applied by the
+    caller; on :class:`UpdateFailure` the table is untouched, which is what
+    lets a failed update retry or fall back to reconstruction without first
+    undoing half-applied writes.
+    """
+    key_cells = assistant.cells(key)
+    v_delta = table.xor_sum(key_cells) ^ assistant.value(key)
+    if v_delta == 0:
+        return UpdatePlan(path=set(), v_delta=0, steps=0)
+
+    path: Set[Cell] = set()
+
+    def check_consistent(current: int) -> bool:
+        cells = assistant.cells(current)
+        value = table.xor_sum(cells)
+        toggled = sum(1 for cell in cells if cell in path)
+        if toggled % 2:
+            value ^= v_delta
+        return value == assistant.value(current)
+
+    def modify(cell: Cell) -> None:
+        path.symmetric_difference_update({cell})
+
+    steps = _run_repair_walk(
+        check_consistent, modify, assistant, key, strategy,
+        space_efficiency, max_steps,
+    )
+    return UpdatePlan(path=path, v_delta=v_delta, steps=steps)
+
+
+def search_update_path(
+    table: ValueTable,
+    assistant: AssistantTable,
+    key: int,
+    strategy: UpdateStrategy,
+    space_efficiency: float,
+    max_steps: int,
+    max_attempts: int = 1,
+    rng: Optional[random.Random] = None,
+) -> UpdatePlan:
+    """:func:`find_update_path` with randomised retries on a stuck walk.
+
+    Attempt 0 is the deterministic strategy with the base step budget;
+    later attempts use the strategy's :meth:`~UpdateStrategy.retry_variant`
+    (randomised tie-breaking + ε-greedy exploration for vision) and a 3×
+    budget. Raises :class:`UpdateFailure` carrying the total steps spent if
+    every attempt fails.
+    """
+    if rng is None:
+        rng = random.Random(0)
+    total_steps = 0
+    for attempt in range(max(1, max_attempts)):
+        if attempt == 0:
+            attempt_strategy = strategy
+            budget = max_steps
+        else:
+            attempt_strategy = strategy.retry_variant(attempt, rng)
+            budget = max_steps * 3
+        try:
+            plan = find_update_path(
+                table, assistant, key, attempt_strategy,
+                space_efficiency, budget,
+            )
+        except UpdateFailure as failure:
+            total_steps += failure.steps
+            continue
+        plan.steps += total_steps
+        return plan
+    raise UpdateFailure(
+        f"no repair path within {max_attempts} search attempts",
+        steps=total_steps,
+    )
+
+
+def eager_update(
+    table: ValueTable,
+    assistant: AssistantTable,
+    key: int,
+    strategy: UpdateStrategy,
+    space_efficiency: float,
+    max_steps: int,
+) -> int:
+    """Algorithm 1/2 executed directly: rewrite cells during the walk.
+
+    Returns the number of repair steps. On :class:`UpdateFailure` the table
+    is left with partial writes (the paper reconstructs in that case); the
+    deferred mode above is what the library actually uses. Every broken
+    equation in the walk is off by exactly the initial discrepancy
+    ``V_delta`` (modifications only ever XOR ``V_delta``), so the rewrite
+    is the same XOR the deferred plan applies.
+    """
+    v_delta = table.xor_sum(assistant.cells(key)) ^ assistant.value(key)
+    if v_delta == 0:
+        return 0
+
+    def check_consistent(current: int) -> bool:
+        return table.xor_sum(assistant.cells(current)) == assistant.value(
+            current
+        )
+
+    def modify(cell: Cell) -> None:
+        table.xor(cell, v_delta)
+
+    return _run_repair_walk(
+        check_consistent, modify, assistant, key, strategy,
+        space_efficiency, max_steps,
+    )
+
+
+def make_strategy(
+    name: str,
+    depth_policy: Optional[DepthPolicy] = None,
+    rng: Optional[random.Random] = None,
+) -> UpdateStrategy:
+    """Build a strategy by config name (``"vision"`` or ``"simple"``)."""
+    if name == "vision":
+        return VisionStrategy(depth_policy)
+    if name == "simple":
+        return SimpleStrategy(rng)
+    raise ValueError(f"unknown strategy {name!r}")

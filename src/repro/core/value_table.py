@@ -1,0 +1,106 @@
+"""The fast-space Value Table: three arrays of L-bit integers.
+
+This is the only structure a lookup touches (§III). Cells are addressed by
+``(array, index)`` pairs; the table stores them in a single numpy matrix so
+batch lookups vectorise. Space accounting is *analytic* — ``space_bits``
+reports the bit count the hardware structure would occupy (3·w·L), which is
+what the paper's space figures measure, not Python object overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+Cell = Tuple[int, int]
+
+
+class ValueTable:
+    """Three arrays, each ``width`` cells of ``value_bits``-bit integers."""
+
+    def __init__(self, width: int, value_bits: int, num_arrays: int = 3):
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if not 1 <= value_bits <= 64:
+            raise ValueError("value_bits must be in [1, 64]")
+        if num_arrays < 2:
+            raise ValueError("need at least two arrays")
+        self.width = width
+        self.value_bits = value_bits
+        self.num_arrays = num_arrays
+        self.value_mask = (1 << value_bits) - 1
+        self._cells = np.zeros((num_arrays, width), dtype=np.uint64)
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells m = num_arrays · width."""
+        return self.num_arrays * self.width
+
+    @property
+    def space_bits(self) -> int:
+        """Fast-space footprint in bits: one L-bit integer per cell."""
+        return self.num_cells * self.value_bits
+
+    def get(self, cell: Cell) -> int:
+        """Read the L-bit integer at ``cell = (array, index)``."""
+        return int(self._cells[cell])
+
+    def set(self, cell: Cell, value: int) -> None:
+        """Overwrite the integer at ``cell`` with ``value``."""
+        self._cells[cell] = value & self.value_mask
+
+    def xor(self, cell: Cell, delta: int) -> None:
+        """XOR ``delta`` into the integer at ``cell``.
+
+        This is the only mutation the concurrent update path uses: the
+        paper's §IV-B protocol applies one fixed increment V_delta to every
+        cell on the modification path.
+        """
+        self._cells[cell] ^= np.uint64(delta & self.value_mask)
+
+    def xor_sum(self, cells: Iterable[Cell]) -> int:
+        """XOR of the integers at the given cells (the lookup primitive)."""
+        result = 0
+        for cell in cells:
+            result ^= int(self._cells[cell])
+        return result
+
+    def lookup_batch(self, index_arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Vectorised lookup: XOR across arrays at per-array index vectors.
+
+        ``index_arrays[j]`` holds, for each queried key, its index into
+        array ``j``. Returns a ``uint64`` vector of XOR sums.
+        """
+        if len(index_arrays) != self.num_arrays:
+            raise ValueError("need one index vector per array")
+        result = self._cells[0][np.asarray(index_arrays[0], dtype=np.int64)].copy()
+        for j in range(1, self.num_arrays):
+            result ^= self._cells[j][np.asarray(index_arrays[j], dtype=np.int64)]
+        return result
+
+    def clear(self) -> None:
+        """Zero every cell (used by reconstruction)."""
+        self._cells.fill(0)
+
+    def copy(self) -> "ValueTable":
+        """An independent deep copy (used by tests and snapshots)."""
+        clone = ValueTable(self.width, self.value_bits, self.num_arrays)
+        clone._cells = self._cells.copy()
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ValueTable):
+            return NotImplemented
+        return (
+            self.width == other.width
+            and self.value_bits == other.value_bits
+            and self.num_arrays == other.num_arrays
+            and bool(np.array_equal(self._cells, other._cells))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ValueTable(width={self.width}, value_bits={self.value_bits}, "
+            f"num_arrays={self.num_arrays})"
+        )

@@ -1,0 +1,32 @@
+"""Datasets used by the paper's evaluation (§VI-A2).
+
+Synthetic random KV generators (the paper's main workloads — VO tables are
+distribution-oblivious because keys are hashed), plus deterministic
+synthetic stand-ins for the three real-world datasets (MACTable,
+MachineLearning, DBLP) with the exact sizes, key widths, and value lengths
+the paper reports. See DESIGN.md §5 for why the stand-ins preserve the
+measured behaviour.
+"""
+
+from repro.datasets.synthetic import (
+    random_pairs,
+    random_keys,
+    uniform_queries,
+    zipf_queries,
+)
+from repro.datasets.real_world import Dataset, mac_table, machine_learning, dblp
+from repro.datasets.registry import DATASET_NAMES, load, synthetic_like
+
+__all__ = [
+    "random_pairs",
+    "random_keys",
+    "uniform_queries",
+    "zipf_queries",
+    "Dataset",
+    "mac_table",
+    "machine_learning",
+    "dblp",
+    "DATASET_NAMES",
+    "load",
+    "synthetic_like",
+]

@@ -1,0 +1,51 @@
+"""Dataset registry: load by name, and build the paper's "SynX" twins.
+
+Fig 9 compares each real dataset against a synthetic dataset of the same
+scale (the paper's SynMACTable, SynMachineLearning, SynDBLP);
+:func:`synthetic_like` builds those twins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.datasets.real_world import Dataset, dblp, mac_table, machine_learning
+from repro.datasets.synthetic import random_keys
+
+_LOADERS: Dict[str, Callable[[float], Dataset]] = {
+    "MACTable": mac_table,
+    "MachineLearning": machine_learning,
+    "DBLP": dblp,
+}
+
+DATASET_NAMES = tuple(_LOADERS)
+
+
+def load(name: str, scale: float = 1.0) -> Dataset:
+    """Load a named dataset, optionally scaled down for quick runs."""
+    try:
+        loader = _LOADERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; known: {DATASET_NAMES}"
+        ) from None
+    return loader(scale)
+
+
+def synthetic_like(dataset: Dataset, seed: int = 1) -> Dataset:
+    """A uniform-random dataset of the same scale as ``dataset`` (SynX)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    values = rng.integers(
+        0, (1 << dataset.value_bits) - 1, size=dataset.size,
+        dtype=np.uint64, endpoint=True,
+    )
+    return Dataset(
+        name=f"Syn{dataset.name}",
+        keys=random_keys(dataset.size, seed=seed ^ 0x51A17, key_bits=64),
+        values=values,
+        value_bits=dataset.value_bits,
+        key_bits=64,
+        description=f"synthetic twin of {dataset.name} at the same scale",
+    )

@@ -1,0 +1,74 @@
+"""Synthetic workload generation.
+
+The paper's primary datasets are uniformly random KV pairs of varying size
+and value length ("sufficiently persuasive since our algorithm does not
+utilize any distribution characteristics of the key-value pairs", §VI-A2),
+and its robustness experiments sample queries from the key set with a Zipf
+distribution (α = 1.0).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def random_keys(n: int, seed: int, key_bits: int = 64) -> np.ndarray:
+    """``n`` distinct uniform random keys of ``key_bits`` bits, as uint64."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 1 <= key_bits <= 64:
+        raise ValueError("key_bits must be in [1, 64]")
+    if key_bits < 64 and n > (1 << key_bits):
+        raise ValueError(f"cannot draw {n} distinct {key_bits}-bit keys")
+    rng = np.random.default_rng(seed)
+    high = (1 << key_bits) - 1
+    keys = np.unique(rng.integers(0, high, size=n, dtype=np.uint64, endpoint=True))
+    # Redraw until we have n distinct keys (collisions are rare at 48+ bits
+    # but the small MAC-table sizes deserve exactness).
+    while len(keys) < n:
+        extra = rng.integers(0, high, size=n - len(keys) + 16,
+                             dtype=np.uint64, endpoint=True)
+        keys = np.unique(np.concatenate([keys, extra]))
+    keys = keys[:n]
+    rng.shuffle(keys)
+    return keys
+
+
+def random_pairs(
+    n: int, value_bits: int, seed: int, key_bits: int = 64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``n`` distinct random keys with uniform ``value_bits``-bit values."""
+    keys = random_keys(n, seed, key_bits)
+    rng = np.random.default_rng(seed ^ 0x5DEECE66D)
+    values = rng.integers(0, (1 << value_bits) - 1, size=n,
+                          dtype=np.uint64, endpoint=True)
+    return keys, values
+
+
+def uniform_queries(keys: np.ndarray, count: int, seed: int) -> np.ndarray:
+    """``count`` lookup keys drawn uniformly from the inserted key set."""
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(keys), size=count)
+    return np.asarray(keys, dtype=np.uint64)[picks]
+
+
+def zipf_queries(
+    keys: np.ndarray, count: int, seed: int, alpha: float = 1.0
+) -> np.ndarray:
+    """``count`` lookup keys drawn from the key set by rank-Zipf(α).
+
+    Rank r (1-based) is chosen with probability proportional to r^(-α);
+    the paper's robustness experiments use α = 1.0.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    n = len(keys)
+    if n == 0:
+        raise ValueError("cannot sample queries from an empty key set")
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** alpha
+    weights /= weights.sum()
+    picks = rng.choice(n, size=count, p=weights)
+    return np.asarray(keys, dtype=np.uint64)[picks]

@@ -1,0 +1,26 @@
+"""FPGA case study (§VI-I), reproduced as a simulator.
+
+The paper deploys the lookup path on an FPGA: three parallel hash cores,
+three Block-RAM reads, and an XOR combine, fully pipelined at one lookup
+per cycle and 279.64 MHz for a 2^19-deep, 8-bit-value table (Table III).
+This package models that architecture explicitly:
+
+- :mod:`repro.fpga.platform` — the device (LUT/register/BRAM inventory).
+- :mod:`repro.fpga.resources` — BRAM mapping math and calibrated logic /
+  frequency estimates reproducing Table III.
+- :mod:`repro.fpga.pipeline` — a cycle-stepped functional model of the
+  lookup pipeline, verified against the software table.
+"""
+
+from repro.fpga.platform import FpgaDevice, VU13P_LIKE
+from repro.fpga.resources import ResourceReport, estimate_resources
+from repro.fpga.pipeline import LookupPipeline, PipelineResult
+
+__all__ = [
+    "FpgaDevice",
+    "VU13P_LIKE",
+    "ResourceReport",
+    "estimate_resources",
+    "LookupPipeline",
+    "PipelineResult",
+]

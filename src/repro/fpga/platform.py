@@ -1,0 +1,52 @@
+"""FPGA device models.
+
+The paper does not name its board, but Table III's usage percentages pin
+the inventory down: 581 LUTs ≈ 0.03%, 697 registers ≈ 0.02%, and 385
+BRAM36s ≈ 14.32% match an UltraScale+ VU13P-class part (1.728M LUTs,
+3.456M registers, 2,688 BRAM36s). :data:`VU13P_LIKE` is that calibration
+target; other devices can be modelled by constructing
+:class:`FpgaDevice` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """An FPGA resource inventory.
+
+    ``bram_depth`` × ``bram_width`` is the widest narrow-configuration of
+    one Block RAM tile used for table storage (BRAM36 as 4096 × 9: 4096
+    entries of up to 9 bits).
+    """
+
+    name: str
+    clb_luts: int
+    clb_registers: int
+    block_rams: int
+    bram_depth: int = 4096
+    bram_width: int = 9
+    #: Fabric frequency ceiling in MHz (vendor datasheet order of magnitude).
+    f_max_mhz: float = 891.0
+
+    def lut_usage(self, luts: int) -> float:
+        """Fraction of the device's LUTs used."""
+        return luts / self.clb_luts
+
+    def register_usage(self, registers: int) -> float:
+        """Fraction of the device's registers used."""
+        return registers / self.clb_registers
+
+    def bram_usage(self, brams: int) -> float:
+        """Fraction of the device's Block RAMs used."""
+        return brams / self.block_rams
+
+
+VU13P_LIKE = FpgaDevice(
+    name="xcvu13p-like",
+    clb_luts=1_728_000,
+    clb_registers=3_456_000,
+    block_rams=2_688,
+)

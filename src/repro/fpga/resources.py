@@ -1,0 +1,132 @@
+"""Resource and timing estimation for the FPGA lookup engine (Table III).
+
+The estimates are architectural, not synthesised: Block-RAM count follows
+directly from the memory geometry (three arrays of ``depth`` cells of
+``value_bits`` bits, mapped onto 4096×9 BRAM36 tiles plus one tile for the
+I/O FIFO), while logic and frequency use constants calibrated to the
+paper's synthesis report (76/66 LUT/regs for the hash cores, 505/631 for
+the table engine, 279.64 MHz at depth 2^19) with first-order scaling in
+depth and width. EXPERIMENTS.md discusses the calibration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.fpga.platform import FpgaDevice, VU13P_LIKE
+
+# Calibration anchors from Table III (depth 2^19, 8-bit values, 3 arrays).
+_ANCHOR_DEPTH_LOG2 = 19
+_HASH_LUTS_PER_CORE = 26  # 3 cores + shared input staging ≈ 76
+_HASH_LUTS_FIXED = -2
+_HASH_REGS_PER_CORE = 22
+_HASH_REGS_FIXED = 0
+_ENGINE_LUTS_ANCHOR = 505
+_ENGINE_REGS_ANCHOR = 631
+# Frequency model: f = F0 - SLOPE · log2(depth); calibrated so depth 2^19
+# gives the reported 279.64 MHz (BRAM addressing/routing dominates).
+_F0_MHZ = 350.0
+_F_SLOPE_MHZ = (350.0 - 279.64) / _ANCHOR_DEPTH_LOG2
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """One row-set of Table III: per-module resources plus timing."""
+
+    depth: int
+    value_bits: int
+    num_arrays: int
+    hash_luts: int
+    hash_registers: int
+    engine_luts: int
+    engine_registers: int
+    block_rams: int
+    frequency_mhz: float
+    device: FpgaDevice
+
+    @property
+    def total_luts(self) -> int:
+        return self.hash_luts + self.engine_luts
+
+    @property
+    def total_registers(self) -> int:
+        return self.hash_registers + self.engine_registers
+
+    @property
+    def lookup_mops(self) -> float:
+        """Throughput: the pipeline accepts one lookup per cycle (II = 1)."""
+        return self.frequency_mhz
+
+    @property
+    def capacity_pairs(self) -> int:
+        """KV pairs supported at the paper's 1.7 cells/key budget."""
+        return int(self.num_arrays * self.depth / 1.7)
+
+    def usage(self) -> Dict[str, float]:
+        """Device-utilisation fractions (Table III's Usage row)."""
+        return {
+            "clb_luts": self.device.lut_usage(self.total_luts),
+            "clb_registers": self.device.register_usage(self.total_registers),
+            "block_ram": self.device.bram_usage(self.block_rams),
+        }
+
+
+def brams_for_array(depth: int, value_bits: int, device: FpgaDevice) -> int:
+    """BRAM tiles for one ``depth`` × ``value_bits`` array.
+
+    Tiles stack ``device.bram_depth`` entries deep and ``device.bram_width``
+    bits wide; e.g. 2^19 × 8b on 4096×9 tiles = 128 tiles.
+    """
+    if depth <= 0:
+        raise ValueError("depth must be positive")
+    depth_tiles = math.ceil(depth / device.bram_depth)
+    width_tiles = math.ceil(value_bits / device.bram_width)
+    return depth_tiles * width_tiles
+
+
+def estimate_resources(
+    depth: int = 1 << 19,
+    value_bits: int = 8,
+    num_arrays: int = 3,
+    device: FpgaDevice = VU13P_LIKE,
+) -> ResourceReport:
+    """Estimate the lookup engine's resources and clock for a geometry.
+
+    Defaults reproduce Table III: 76 + 505 LUTs, 66 + 631 registers,
+    385 BRAMs, 279.64 MHz.
+    """
+    hash_luts = _HASH_LUTS_FIXED + _HASH_LUTS_PER_CORE * num_arrays
+    hash_regs = _HASH_REGS_FIXED + _HASH_REGS_PER_CORE * num_arrays
+    table_brams = num_arrays * brams_for_array(depth, value_bits, device)
+    block_rams = table_brams + 1  # +1: I/O FIFO tile
+
+    # Logic scales with the XOR/mux width (value_bits) and the address
+    # width (log2 depth); anchored at the paper's synthesis point.
+    depth_log2 = max(1.0, math.log2(depth))
+    width_scale = value_bits / 8
+    addr_scale = depth_log2 / _ANCHOR_DEPTH_LOG2
+    arrays_scale = num_arrays / 3
+    engine_luts = round(
+        _ENGINE_LUTS_ANCHOR * (0.5 + 0.3 * width_scale + 0.2 * addr_scale)
+        * arrays_scale
+    )
+    engine_regs = round(
+        _ENGINE_REGS_ANCHOR * (0.4 + 0.35 * width_scale + 0.25 * addr_scale)
+        * arrays_scale
+    )
+
+    frequency = min(device.f_max_mhz, _F0_MHZ - _F_SLOPE_MHZ * depth_log2)
+    return ResourceReport(
+        depth=depth,
+        value_bits=value_bits,
+        num_arrays=num_arrays,
+        hash_luts=hash_luts,
+        hash_registers=hash_regs,
+        engine_luts=engine_luts,
+        engine_registers=engine_regs,
+        block_rams=block_rams,
+        frequency_mhz=round(frequency, 2),
+        device=device,
+    )

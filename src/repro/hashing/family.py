@@ -1,0 +1,128 @@
+"""Seeded index-hash families mapping arbitrary keys into table ranges.
+
+Every value-only table in this repository selects cells by hashing a key
+into ``[0, width)`` with a small number of independent hash functions.
+:class:`IndexHasher` is one such function; :class:`HashFamily` bundles
+several with seeds derived deterministically from a single master seed, so
+that a table can be reconstructed ("change all hash functions") by bumping
+one integer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.hashing.murmur3 import murmur3_32, murmur3_32_u64, murmur3_32_u64_batch
+
+Key = Union[int, bytes, str]
+
+# Multiplier decorrelating the per-function seeds derived from a master seed
+# (an arbitrary odd 32-bit constant).
+_SEED_STRIDE = 0x9E3779B1
+
+
+def key_to_bytes(key: Key) -> bytes:
+    """Canonicalise a key to bytes (int: minimal 8-byte-multiple LE)."""
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, (int, np.integer)):
+        key = int(key)
+        if key < 0:
+            raise ValueError("integer keys must be non-negative")
+        length = max(8, (key.bit_length() + 63) // 64 * 8)
+        return key.to_bytes(length, "little")
+    raise TypeError(f"unsupported key type: {type(key).__name__}")
+
+
+def key_to_u64(key: Key) -> int:
+    """Reduce a key to a 64-bit integer handle (hash non-int keys down)."""
+    if isinstance(key, (int, np.integer)):
+        key = int(key)
+        if 0 <= key < 1 << 64:
+            return key
+        data = key_to_bytes(key)
+    else:
+        data = key_to_bytes(key)
+    low = murmur3_32(data, 0x5BD1E995)
+    high = murmur3_32(data, 0x27D4EB2F)
+    return (high << 32) | low
+
+
+class IndexHasher:
+    """One seeded hash function mapping keys into ``[0, width)``."""
+
+    __slots__ = ("seed", "width")
+
+    def __init__(self, seed: int, width: int):
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.seed = seed & 0xFFFFFFFF
+        self.width = width
+
+    def index(self, key: Key) -> int:
+        """Map ``key`` to an index in ``[0, width)``."""
+        if isinstance(key, (int, np.integer)) and 0 <= int(key) < 1 << 64:
+            return murmur3_32_u64(int(key), self.seed) % self.width
+        return murmur3_32(key_to_bytes(key), self.seed) % self.width
+
+    def index_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`index` over a ``uint64`` key array."""
+        return murmur3_32_u64_batch(keys, self.seed) % np.uint64(self.width)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IndexHasher(seed=0x{self.seed:08x}, width={self.width})"
+
+
+class HashFamily:
+    """A family of independent :class:`IndexHasher` functions.
+
+    Parameters
+    ----------
+    master_seed:
+        Single integer from which all per-function seeds derive.
+    widths:
+        Range of each function. Pass one width per function (they may
+        differ, e.g. Othello's two unequal arrays).
+    """
+
+    def __init__(self, master_seed: int, widths: Sequence[int]):
+        self.master_seed = master_seed
+        self.hashers = tuple(
+            IndexHasher(self._derive_seed(master_seed, i), width)
+            for i, width in enumerate(widths)
+        )
+
+    @staticmethod
+    def _derive_seed(master_seed: int, index: int) -> int:
+        mixed = (master_seed + (index + 1) * _SEED_STRIDE) & 0xFFFFFFFF
+        # One fmix-style round so adjacent master seeds do not yield
+        # correlated families.
+        mixed ^= mixed >> 16
+        mixed = (mixed * 0x85EBCA6B) & 0xFFFFFFFF
+        mixed ^= mixed >> 13
+        return mixed
+
+    def __len__(self) -> int:
+        return len(self.hashers)
+
+    def __getitem__(self, i: int) -> IndexHasher:
+        return self.hashers[i]
+
+    def __iter__(self) -> Iterable[IndexHasher]:
+        return iter(self.hashers)
+
+    def indices(self, key: Key) -> tuple:
+        """All function outputs for ``key``, one index per function."""
+        return tuple(h.index(key) for h in self.hashers)
+
+    def indices_batch(self, keys: np.ndarray) -> tuple:
+        """Vectorised :meth:`indices`: one index array per function."""
+        return tuple(h.index_batch(keys) for h in self.hashers)
+
+    def reseeded(self, new_master_seed: int) -> "HashFamily":
+        """A fresh family with the same widths and a new master seed."""
+        return HashFamily(new_master_seed, [h.width for h in self.hashers])

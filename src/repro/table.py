@@ -1,0 +1,114 @@
+"""The common value-only-table interface.
+
+Every algorithm the paper compares (VisionEmbedder, Bloomier, Othello,
+Coloring Embedder, Ludo) implements this interface, so the benchmark
+harness, examples, and property tests treat them interchangeably.
+
+Value-only semantics, shared by all implementations:
+
+- ``lookup`` of an inserted key returns its value, guaranteed.
+- ``lookup`` of an *alien* key (never inserted, or deleted) returns a
+  meaningless value — never an error. VO tables cannot detect absence.
+- ``delete`` only touches slow-space bookkeeping; the deleted pair no
+  longer occupies fast space or constrains later updates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+from repro.core.stats import TableStats
+
+Key = Union[int, bytes, str]
+
+
+class ValueOnlyTable(ABC):
+    """Abstract base for every value-only table in the repository."""
+
+    #: Human-readable algorithm name, as used by the paper's figures.
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def value_bits(self) -> int:
+        """L: the value length in bits."""
+
+    @property
+    @abstractmethod
+    def space_bits(self) -> int:
+        """Fast-space footprint in bits (analytic, per the paper's metric)."""
+
+    @property
+    @abstractmethod
+    def stats(self) -> TableStats:
+        """Failure/reconstruction counters accumulated so far."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of currently inserted KV pairs (n)."""
+
+    @abstractmethod
+    def __contains__(self, key: Key) -> bool:
+        """Whether ``key`` is currently inserted (slow-space check)."""
+
+    @abstractmethod
+    def insert(self, key: Key, value: int) -> None:
+        """Insert a new KV pair; raises DuplicateKey if already present."""
+
+    @abstractmethod
+    def update(self, key: Key, value: int) -> None:
+        """Change the value of an existing key; raises KeyNotFound if absent."""
+
+    @abstractmethod
+    def delete(self, key: Key) -> None:
+        """Remove a pair; raises KeyNotFound if absent."""
+
+    @abstractmethod
+    def lookup(self, key: Key) -> int:
+        """The value for ``key``; meaningless if the key is alien."""
+
+    def put(self, key: Key, value: int) -> None:
+        """Insert-or-update convenience."""
+        if key in self:
+            self.update(key, value)
+        else:
+            self.insert(key, value)
+
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised lookup over a ``uint64`` key array.
+
+        The default implementation loops; tables with a vectorised fast
+        path override it.
+        """
+        return np.fromiter(
+            (self.lookup(int(k)) for k in np.asarray(keys, dtype=np.uint64)),
+            dtype=np.uint64,
+            count=len(keys),
+        )
+
+    def insert_many(self, pairs: Iterable[Tuple[Key, int]]) -> None:
+        """Insert pairs one by one (dynamic path, not bulk construction)."""
+        for key, value in pairs:
+            self.insert(key, value)
+
+    @property
+    def failure_events(self) -> int:
+        """Total rebuild passes forced by failures, including any internal
+        components (e.g. Ludo's locator). Fig 4's metric."""
+        return self.stats.reconstructions
+
+    @property
+    def bits_per_key(self) -> float:
+        """Fast-space bits per currently inserted pair (paper's space cost
+        numerator is per pair, denominator per value bit is bits_per_key/L)."""
+        n = len(self)
+        return self.space_bits / n if n else float("inf")
+
+    @property
+    def space_cost(self) -> float:
+        """The paper's Space Cost metric: space_bits / (n · L)."""
+        n = len(self)
+        return self.space_bits / (n * self.value_bits) if n else float("inf")

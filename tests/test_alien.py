@@ -1,0 +1,64 @@
+"""Alien-key value distributions: the VO caveat, measured."""
+
+import pytest
+
+from repro.analysis.alien import (
+    alien_value_histogram,
+    alien_zero_fraction,
+    predicted_zero_fraction_sparse,
+    specific_value_collision_probability,
+)
+from repro.bench.workloads import fill_table, make_pairs
+from repro.factory import make_table
+
+
+def _table_at_load(n, capacity, value_bits=4, seed=3):
+    keys, values = make_pairs(n, value_bits, seed)
+    # Bias values away from 0 so alien zeros are table zeros, not stored
+    # zeros echoed back.
+    values = values | 1
+    table = make_table("vision", capacity, value_bits, seed=seed)
+    fill_table(table, keys, values)
+    return table
+
+
+class TestZeroBias:
+    def test_sparse_table_aliens_read_mostly_zero(self):
+        table = _table_at_load(n=300, capacity=6000)
+        assert alien_zero_fraction(table, num_probes=20_000) > 0.7
+
+    def test_full_table_aliens_spread_out(self):
+        table = _table_at_load(n=3000, capacity=3000)
+        assert alien_zero_fraction(table, num_probes=20_000) < 0.3
+
+    def test_model_tracks_measurement_when_sparse(self):
+        n, capacity = 400, 8000
+        table = _table_at_load(n=n, capacity=capacity)
+        predicted = predicted_zero_fraction_sparse(n, table.num_cells)
+        measured = alien_zero_fraction(table, num_probes=20_000)
+        # The model is a lower bound; measurement sits at or above it.
+        assert measured >= predicted - 0.05
+        assert measured - predicted < 0.25
+
+
+class TestHistogram:
+    def test_probabilities_sum_to_one(self):
+        table = _table_at_load(n=1000, capacity=1500)
+        histogram = alien_value_histogram(table, num_probes=10_000)
+        assert sum(histogram.values()) == pytest.approx(1.0)
+        assert all(0 <= value < 16 for value in histogram)
+
+    def test_specific_value_bounded_by_uniform(self):
+        """Near full load no single value soaks up the alien mass."""
+        table = _table_at_load(n=3000, capacity=3000)
+        worst = max(
+            specific_value_collision_probability(table, v, num_probes=20_000)
+            for v in range(1, 16)
+        )
+        assert worst < 3.0 / 16  # within 3x of uniform
+
+    def test_deterministic_given_seed(self):
+        table = _table_at_load(n=500, capacity=1000)
+        a = alien_value_histogram(table, num_probes=5000, seed=7)
+        b = alien_value_histogram(table, num_probes=5000, seed=7)
+        assert a == b

@@ -1,0 +1,134 @@
+"""Theory module: Theorem 1 threshold, failure models, space models."""
+
+import math
+
+import pytest
+
+from repro.analysis.failure import (
+    collision_error_probability,
+    endless_loop_probability,
+    two_hash_failure_probability,
+    update_failure_probability,
+)
+from repro.analysis.poisson import (
+    _poisson_tail,
+    expected_min_load,
+    solve_lambda_threshold,
+    space_threshold,
+)
+from repro.analysis.space import (
+    MEASURED_MINIMUM,
+    bits_per_value_bit,
+    space_bits,
+    table1_rows,
+)
+
+
+class TestPoissonTail:
+    def test_k_zero_is_one(self):
+        assert _poisson_tail(2.0, 0) == 1.0
+
+    def test_matches_direct_sum(self):
+        lam, k = 1.7, 3
+        direct = 1.0 - sum(
+            math.exp(-lam) * lam**i / math.factorial(i) for i in range(k)
+        )
+        assert _poisson_tail(lam, k) == pytest.approx(direct, abs=1e-12)
+
+    def test_monotone_decreasing_in_k(self):
+        tails = [_poisson_tail(2.0, k) for k in range(10)]
+        assert all(a >= b for a, b in zip(tails, tails[1:]))
+
+
+class TestExpectedMinLoad:
+    def test_zero_lambda(self):
+        assert expected_min_load(0.0) == 0.0
+
+    def test_monotone_in_lambda(self):
+        values = [expected_min_load(lam / 10) for lam in range(1, 40)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            expected_min_load(-1.0)
+
+    def test_crosses_one_near_1_709(self):
+        assert expected_min_load(1.70) < 1.0
+        assert expected_min_load(1.72) > 1.0
+
+
+class TestTheorem1:
+    def test_lambda_threshold_is_1_709(self):
+        """The paper's numerical solution: λ' ≈ 1.709."""
+        assert solve_lambda_threshold() == pytest.approx(1.709, abs=0.002)
+
+    def test_space_threshold_is_1_756(self):
+        """(m/n)' = 3/λ' ≈ 1.756."""
+        assert space_threshold() == pytest.approx(1.756, abs=0.002)
+
+    def test_default_budget_is_below_depth1_threshold(self):
+        """1.7 < 1.756: MaxDepth=1 alone cannot fill the default budget —
+        which is exactly why the dynamic-depth schedule exists."""
+        assert 1.7 < space_threshold()
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lambda_threshold(target=1e9)
+
+
+class TestTheorems2And3:
+    def test_collision_probability_scales_as_1_over_n(self):
+        p1 = collision_error_probability(1000, 1700)
+        p2 = collision_error_probability(10_000, 17_000)
+        assert p1 / p2 == pytest.approx(10, rel=0.01)
+
+    def test_two_hash_probability_is_constant(self):
+        p1 = two_hash_failure_probability(1000)
+        p2 = two_hash_failure_probability(100_000)
+        assert p2 / p1 == pytest.approx(1.0, rel=0.01)
+
+    def test_value_bits_discount(self):
+        base = collision_error_probability(1000, 1700, value_bits=None)
+        one_bit = collision_error_probability(1000, 1700, value_bits=1)
+        assert one_bit == pytest.approx(base / 2)
+
+    def test_tiny_n(self):
+        assert collision_error_probability(1, 100) == 0.0
+
+    def test_endless_loop_bound(self):
+        assert endless_loop_probability(100, 1000) == pytest.approx(1e-4)
+        assert endless_loop_probability(10**9, 10) == 1.0  # capped
+
+    def test_total_failure_probability_headline(self):
+        """The paper's headline: n-fold reduction vs two-hash schemes."""
+        n = 1_000_000
+        vision = update_failure_probability(n, value_bits=1)
+        two_hash = two_hash_failure_probability(n, value_bits=1)
+        assert two_hash / vision > n / 100
+
+
+class TestSpaceModels:
+    def test_default_budgets(self):
+        assert bits_per_value_bit("vision", 10_000, 1) == pytest.approx(1.7)
+        assert bits_per_value_bit("othello", 10_000, 1) == pytest.approx(2.33)
+        assert bits_per_value_bit("color", 10_000, 1) == pytest.approx(2.2)
+
+    def test_bloomier_slack(self):
+        assert bits_per_value_bit("bloomier", 100, 1) == pytest.approx(2.46)
+
+    def test_ludo_crossover_around_L6(self):
+        """Ludo's (3.76+1.05L)/L beats vision's 1.7 only above L≈6."""
+        assert bits_per_value_bit("ludo", 1000, 4) > 1.7
+        assert bits_per_value_bit("ludo", 1000, 8) < 1.7
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            space_bits("nope", 10, 1)
+
+    def test_measured_minimum_matches_paper(self):
+        assert MEASURED_MINIMUM["vision"] == 1.58
+
+    def test_table1_structure(self):
+        rows = table1_rows()
+        assert len(rows) == 3
+        assert rows[-1]["update_failure_probability"] == "O(1/n)"

@@ -1,0 +1,142 @@
+"""Application layer: binary classifier and k-mer experiment index."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps import BinaryClassifier, KmerExperimentIndex
+from repro.apps.seqindex import kmers_of, pack_kmer, unpack_kmer
+
+
+class TestBinaryClassifier:
+    def _training_set(self, n, seed):
+        rng = random.Random(seed)
+        return {rng.getrandbits(48): rng.random() < 0.4 for _ in range(n)}
+
+    def test_exact_recall_on_training_set(self):
+        items = self._training_set(2000, 1)
+        clf = BinaryClassifier(capacity=2000, seed=3)
+        clf.add_many(items.items())
+        assert clf.accuracy(items.items()) == 1.0
+
+    def test_predict_batch(self):
+        items = self._training_set(500, 2)
+        clf = BinaryClassifier(capacity=500, seed=3)
+        clf.add_many(items.items())
+        keys = np.fromiter(items, dtype=np.uint64)
+        predictions = clf.predict_batch(keys)
+        assert all(
+            bool(p) == items[int(k)] for k, p in zip(keys, predictions)
+        )
+
+    def test_relabel_in_place(self):
+        clf = BinaryClassifier(capacity=100, seed=1)
+        clf.add("x", True)
+        assert clf.predict("x") is True
+        clf.add("x", False)
+        assert clf.predict("x") is False
+        assert len(clf) == 1
+
+    def test_forget(self):
+        clf = BinaryClassifier(capacity=100, seed=1)
+        clf.add("x", True)
+        clf.forget("x")
+        assert "x" not in clf
+        assert len(clf) == 0
+
+    def test_space_is_about_1_7_bits_per_item(self):
+        items = self._training_set(1000, 4)
+        clf = BinaryClassifier(capacity=1000, seed=2)
+        clf.add_many(items.items())
+        assert clf.bits_per_item == pytest.approx(1.7, abs=0.05)
+
+    def test_empty_accuracy(self):
+        assert BinaryClassifier(capacity=10).accuracy([]) == 1.0
+
+
+class TestKmerPacking:
+    def test_roundtrip(self):
+        for kmer in ("A", "ACGT", "TTTTTTTT", "GATTACA"):
+            assert unpack_kmer(pack_kmer(kmer)) == kmer
+
+    def test_length_preserved(self):
+        # AA and AAA must pack differently (sentinel bit).
+        assert pack_kmer("AA") != pack_kmer("AAA")
+
+    def test_case_insensitive(self):
+        assert pack_kmer("acgt") == pack_kmer("ACGT")
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            pack_kmer("ACGN")
+
+    def test_empty_and_oversized(self):
+        with pytest.raises(ValueError):
+            pack_kmer("")
+        with pytest.raises(ValueError):
+            pack_kmer("A" * 32)
+
+    def test_kmers_of(self):
+        assert list(kmers_of("ACGTA", 3)) == ["ACG", "CGT", "GTA"]
+        assert list(kmers_of("AC", 3)) == []
+        with pytest.raises(ValueError):
+            list(kmers_of("ACGT", 0))
+
+
+def _random_sequence(length, seed):
+    rng = random.Random(seed)
+    return "".join(rng.choice("ACGT") for _ in range(length))
+
+
+class TestKmerExperimentIndex:
+    def test_index_and_query(self):
+        index = KmerExperimentIndex(capacity=5000, num_experiments=4, k=12,
+                                    seed=5)
+        sequences = {i: _random_sequence(800, seed=i) for i in range(4)}
+        for experiment_id, sequence in sequences.items():
+            added = index.add_experiment(experiment_id, f"exp{experiment_id}",
+                                         sequence)
+            assert added > 0
+        # Every k-mer of experiment 2's sequence that is unique to it must
+        # resolve to experiment 2.
+        others = {
+            kmer
+            for i, seq in sequences.items() if i != 2
+            for kmer in kmers_of(seq, 12)
+        }
+        for kmer in kmers_of(sequences[2], 12):
+            if kmer not in others:
+                assert index.query(kmer) == 2
+                assert index.query_name(kmer) == "exp2"
+
+    def test_first_writer_wins_on_shared_kmers(self):
+        index = KmerExperimentIndex(capacity=100, num_experiments=2, k=4,
+                                    seed=1)
+        index.add_experiment(0, "first", "ACGTACGT")
+        added = index.add_experiment(1, "second", "ACGTACGT")
+        assert added == 0  # every k-mer already owned by experiment 0
+        assert index.query("ACGT") == 0
+
+    def test_query_sequence_histogram(self):
+        index = KmerExperimentIndex(capacity=1000, num_experiments=2, k=8,
+                                    seed=2)
+        seq = _random_sequence(300, seed=9)
+        index.add_experiment(1, "only", seq)
+        histogram = index.query_sequence(seq)
+        assert set(histogram) == {1}
+        assert histogram[1] == len(list(kmers_of(seq, 8)))
+
+    def test_value_bits_sized_from_experiment_count(self):
+        assert KmerExperimentIndex(10, num_experiments=2, k=4).value_bits == 1
+        assert KmerExperimentIndex(10, num_experiments=5, k=4).value_bits == 3
+        assert KmerExperimentIndex(10, num_experiments=256, k=4).value_bits == 8
+
+    def test_validation(self):
+        index = KmerExperimentIndex(capacity=10, num_experiments=2, k=4)
+        with pytest.raises(ValueError):
+            index.query("TOOLONGKMER")
+        with pytest.raises(ValueError):
+            index.add_experiment(7, "bad", "ACGT")
+        with pytest.raises(ValueError):
+            KmerExperimentIndex(capacity=10, num_experiments=0, k=4)

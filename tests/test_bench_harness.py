@@ -1,0 +1,61 @@
+"""Benchmark harness utilities: measurements and percentiles."""
+
+import time
+
+import pytest
+
+from repro.bench.harness import (
+    Measurement,
+    Percentiles,
+    latency_percentiles,
+    measure_each,
+    measure_ops,
+)
+
+
+class TestMeasurement:
+    def test_mops_and_kops(self):
+        m = Measurement(ops=2_000_000, seconds=1.0)
+        assert m.mops == pytest.approx(2.0)
+        assert m.kops == pytest.approx(2000.0)
+
+    def test_zero_seconds(self):
+        assert Measurement(ops=1, seconds=0.0).mops == float("inf")
+
+    def test_measure_ops_times_call(self):
+        m = measure_ops(lambda: time.sleep(0.02), ops=10)
+        assert m.ops == 10
+        assert m.seconds >= 0.02
+
+
+class TestPercentiles:
+    def test_from_uniform_samples(self):
+        samples = list(range(1, 1001))  # 1..1000 µs
+        pct = Percentiles.from_samples(samples)
+        assert pct.p50 == 500
+        assert pct.p90 == 900
+        assert pct.p99 == 990
+        assert pct.p999 == 999
+
+    def test_single_sample(self):
+        pct = Percentiles.from_samples([42.0])
+        assert pct.p50 == pct.p999 == 42.0
+
+    def test_unsorted_input(self):
+        pct = Percentiles.from_samples([3.0, 1.0, 2.0])
+        assert pct.p50 == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Percentiles.from_samples([])
+
+
+class TestMeasureEach:
+    def test_returns_one_sample_per_op(self):
+        samples = measure_each([lambda: None] * 25)
+        assert len(samples) == 25
+        assert all(s >= 0 for s in samples)
+
+    def test_latency_percentiles_end_to_end(self):
+        pct = latency_percentiles([lambda: None] * 100)
+        assert pct.p50 <= pct.p999

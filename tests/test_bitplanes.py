@@ -1,0 +1,77 @@
+"""Bit-plane value store used by the two-hash baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bitplanes import BitPlaneStore
+
+
+class TestBasics:
+    def test_initially_zero(self):
+        store = BitPlaneStore(8, 4)
+        assert all(store.get(i) == 0 for i in range(8))
+
+    def test_space_bits(self):
+        assert BitPlaneStore(100, 7).space_bits == 700
+
+    def test_xor_roundtrip(self):
+        store = BitPlaneStore(8, 8)
+        store.xor(3, 0xA5)
+        assert store.get(3) == 0xA5
+        store.xor(3, 0xA5)
+        assert store.get(3) == 0
+
+    def test_xor_many(self):
+        store = BitPlaneStore(8, 4)
+        store.xor_many(np.array([0, 2, 4]), 0b1011)
+        assert store.get(0) == 0b1011
+        assert store.get(1) == 0
+        assert store.get(2) == 0b1011
+
+    @pytest.mark.parametrize("cells,bits", [(0, 4), (4, 0), (4, 65)])
+    def test_invalid_parameters(self, cells, bits):
+        with pytest.raises(ValueError):
+            BitPlaneStore(cells, bits)
+
+    def test_clear(self):
+        store = BitPlaneStore(4, 4)
+        store.xor(1, 7)
+        store.clear()
+        assert store.get(1) == 0
+
+
+class TestPairLookup:
+    def test_scalar_pair(self):
+        a = BitPlaneStore(4, 8)
+        b = BitPlaneStore(4, 8)
+        a.xor(1, 0b1100)
+        b.xor(2, 0b1010)
+        assert a.xor_pair_lookup(b, 1, 2) == 0b0110
+
+    def test_self_pair(self):
+        store = BitPlaneStore(4, 8)
+        store.xor(0, 9)
+        store.xor(1, 12)
+        assert store.xor_pair_lookup(store, 0, 1) == 9 ^ 12
+        assert store.xor_pair_lookup(store, 0, 0) == 0
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        a = BitPlaneStore(32, 6)
+        b = BitPlaneStore(16, 6)
+        for i in range(32):
+            a.xor(i, int(rng.integers(0, 64)))
+        for i in range(16):
+            b.xor(i, int(rng.integers(0, 64)))
+        us = rng.integers(0, 32, size=200)
+        vs = rng.integers(0, 16, size=200)
+        batch = a.xor_pair_lookup_batch(b, us, vs)
+        for pos in range(200):
+            assert int(batch[pos]) == a.xor_pair_lookup(
+                b, int(us[pos]), int(vs[pos])
+            )
+
+    def test_single_bit_values(self):
+        store = BitPlaneStore(4, 1)
+        store.xor(0, 1)
+        assert store.xor_pair_lookup(store, 0, 1) == 1

@@ -1,0 +1,129 @@
+"""Bloomier filter baseline: peeling construction, O(n) updates."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.bloomier import Bloomier
+from repro.core.errors import DuplicateKey, KeyNotFound, ReconstructionFailed
+
+
+def _pairs(n, value_bits, seed):
+    rng = random.Random(seed)
+    pairs = {}
+    while len(pairs) < n:
+        pairs[rng.getrandbits(48)] = rng.getrandbits(value_bits)
+    return pairs
+
+
+def _filled(n=500, value_bits=4, seed=2):
+    table = Bloomier(value_bits=value_bits, seed=seed)
+    pairs = _pairs(n, value_bits, seed)
+    table.insert_many(pairs.items())
+    return table, pairs
+
+
+class TestConstruction:
+    def test_bulk_build_and_lookup(self):
+        table, pairs = _filled(1000)
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+        table.check_invariants()
+
+    def test_empty_table_lookup(self):
+        table = Bloomier(value_bits=4, seed=1)
+        assert 0 <= table.lookup("anything") < 16
+
+    def test_incremental_insert_rebuilds(self):
+        table = Bloomier(value_bits=4, seed=1)
+        passes_before = table.construction_passes
+        table.insert(1, 5)
+        table.insert(2, 6)
+        assert table.construction_passes >= passes_before + 2
+        assert table.lookup(1) == 5
+        assert table.lookup(2) == 6
+
+    def test_duplicate_rejected(self):
+        table, pairs = _filled(50)
+        with pytest.raises(DuplicateKey):
+            table.insert(next(iter(pairs)), 0)
+        with pytest.raises(DuplicateKey):
+            table.insert_many([(next(iter(pairs)), 0)])
+
+    def test_single_key(self):
+        table = Bloomier(value_bits=8, seed=3)
+        table.insert("only", 200)
+        assert table.lookup("only") == 200
+
+
+class TestUpdateDelete:
+    def test_update_reassigns_without_reseed(self):
+        table, pairs = _filled(300)
+        seed_before = table.seed
+        key = next(iter(pairs))
+        table.update(key, (pairs[key] + 1) % 16)
+        assert table.seed == seed_before
+        assert table.lookup(key) == (pairs[key] + 1) % 16
+        table.check_invariants()
+
+    def test_update_unknown_rejected(self):
+        table, _ = _filled(20)
+        with pytest.raises(KeyNotFound):
+            table.update("ghost", 1)
+
+    def test_delete_is_slow_space_only(self):
+        table, pairs = _filled(100)
+        space_before = table.space_bits
+        key = next(iter(pairs))
+        table.delete(key)
+        assert table.space_bits == space_before  # no rebuild on delete
+        assert len(table) == 99
+        with pytest.raises(KeyNotFound):
+            table.delete(key)
+
+
+class TestSpace:
+    def test_sizing_formula(self):
+        table, _ = _filled(1000)
+        expected = 1.23 * (1000 + 100) / 1000
+        assert table.space_cost == pytest.approx(expected, rel=0.02)
+
+    def test_small_n_slack_dominates(self):
+        table, _ = _filled(20)
+        assert table.space_cost > 5  # 1.23·120/20
+
+
+class TestFailureHandling:
+    def test_impossible_construction_raises(self):
+        # The asymptotic 1.23 threshold does not hold at tiny n — which is
+        # exactly why the paper adds the +100 slack; with it, n=50 builds.
+        table = Bloomier(value_bits=4, seed=1, space_factor=1.23, slack=100,
+                         max_construct_attempts=5)
+        pairs = list(_pairs(50, 4, 7).items())
+        table.insert_many(pairs)
+        tight = Bloomier(value_bits=4, seed=1, space_factor=0.5, slack=0,
+                         max_construct_attempts=5)
+        with pytest.raises(ReconstructionFailed):
+            tight.insert_many(pairs)
+        # Rollback: the failed bulk insert must not leave pairs recorded.
+        assert len(tight) == 0
+
+    def test_failed_single_insert_rolls_back(self):
+        tight = Bloomier(value_bits=4, seed=1, space_factor=0.5, slack=1,
+                         max_construct_attempts=3)
+        keys = list(_pairs(30, 4, 8).items())
+        with pytest.raises(ReconstructionFailed):
+            for key, value in keys:
+                tight.insert(key, value)
+        # The key that failed is not half-present.
+        assert all(k in tight or tight.lookup(k) is not None for k, _ in keys)
+
+
+class TestBatchLookup:
+    def test_matches_scalar(self):
+        table, pairs = _filled(300)
+        keys = np.fromiter(pairs, dtype=np.uint64)
+        batch = table.lookup_batch(keys)
+        for key, value in zip(keys.tolist(), batch.tolist()):
+            assert value == table.lookup(key)

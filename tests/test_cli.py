@@ -1,0 +1,33 @@
+"""CLI behaviour: listing, running, error handling."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "table3" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["theory"]) == 0
+        out = capsys.readouterr().out
+        assert "1.756" in out
+
+    def test_run_with_scale_and_seed(self, capsys):
+        assert main(["table3", "--scale", "0.05", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "279.6" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figZZ"]) == 2
+        err = capsys.readouterr().err
+        assert "figZZ" in err
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table1", "theory"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "theory" in out

@@ -1,0 +1,107 @@
+"""Coloring Embedder baseline: single-array two-hash table."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.coloring import ColoringEmbedder
+from repro.core.errors import DuplicateKey, KeyNotFound, UpdateFailure
+
+
+def _pairs(n, value_bits, seed):
+    rng = random.Random(seed)
+    pairs = {}
+    while len(pairs) < n:
+        pairs[rng.getrandbits(48)] = rng.getrandbits(value_bits)
+    return pairs
+
+
+def _filled(n=500, value_bits=4, seed=2):
+    table = ColoringEmbedder(n, value_bits, seed=seed)
+    pairs = _pairs(n, value_bits, seed)
+    for key, value in pairs.items():
+        table.insert(key, value)
+    return table, pairs
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        table, pairs = _filled()
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+        table.check_invariants()
+
+    def test_duplicate_rejected(self):
+        table, pairs = _filled(50)
+        with pytest.raises(DuplicateKey):
+            table.insert(next(iter(pairs)), 0)
+
+    def test_update_and_delete(self):
+        table, pairs = _filled(300)
+        changed = list(pairs)[:50]
+        for key in changed:
+            table.update(key, (pairs[key] + 3) % 16)
+        for key in list(pairs)[50:100]:
+            table.delete(key)
+        table.check_invariants()
+        for key in changed:
+            assert table.lookup(key) == (pairs[key] + 3) % 16
+        assert len(table) == 250
+
+    def test_unknown_key_operations_rejected(self):
+        table, _ = _filled(20)
+        with pytest.raises(KeyNotFound):
+            table.update("ghost", 1)
+        with pytest.raises(KeyNotFound):
+            table.delete("ghost")
+
+
+class TestSpace:
+    def test_default_sizing_is_2_2(self):
+        table = ColoringEmbedder(1000, 4, seed=1)
+        assert table.space_bits == pytest.approx(2.2 * 4 * 1000, rel=0.01)
+
+
+class TestSelfCollision:
+    def _find_self_colliding_key(self, table):
+        for key in range(100_000):
+            if table._hashes[0].index(key) == table._hashes[1].index(key):
+                return key
+        pytest.skip("no self-colliding key found")
+
+    def test_self_loop_with_zero_value_is_fine(self):
+        table = ColoringEmbedder(20, 4, seed=1)
+        key = self._find_self_colliding_key(table)
+        table.insert(key, 0)
+        assert table.lookup(key) == 0
+
+    def test_self_loop_with_nonzero_value_fails_and_reconstructs(self):
+        table = ColoringEmbedder(20, 4, seed=1)
+        key = self._find_self_colliding_key(table)
+        table.insert(key, 5)
+        # The insert triggered the unsolvable self-collision, counted as a
+        # failure, then reconstruction with new hashes made it fit.
+        assert table.stats.update_failures >= 1
+        assert table.stats.reconstructions >= 1
+        assert table.lookup(key) == 5
+
+
+class TestFailures:
+    def test_constant_failure_rate(self):
+        failures = 0
+        for trial in range(30):
+            table = ColoringEmbedder(300, 4, seed=trial)
+            for key, value in _pairs(300, 4, trial + 500).items():
+                table.insert(key, value)
+            failures += table.stats.reconstructions
+        assert failures >= 3
+
+
+class TestBatchLookup:
+    def test_matches_scalar(self):
+        table, pairs = _filled(300)
+        keys = np.fromiter(pairs, dtype=np.uint64)
+        batch = table.lookup_batch(keys)
+        for key, value in zip(keys.tolist(), batch.tolist()):
+            assert value == table.lookup(key)

@@ -1,0 +1,66 @@
+"""EmbedderConfig and the dynamic-depth policy."""
+
+import pytest
+
+from repro.core.config import DepthPolicy, EmbedderConfig
+
+
+class TestDepthPolicy:
+    def test_paper_schedule(self):
+        policy = DepthPolicy()
+        assert policy.depth_for(0.0) == 1
+        assert policy.depth_for(0.19) == 1
+        assert policy.depth_for(0.2) == 2
+        assert policy.depth_for(0.39) == 2
+        assert policy.depth_for(0.4) == 3
+        assert policy.depth_for(0.59) == 3
+
+    def test_fixed_depth(self):
+        policy = DepthPolicy(fixed=2)
+        assert policy.depth_for(0.0) == 2
+        assert policy.depth_for(0.9) == 2
+
+    def test_custom_schedule(self):
+        policy = DepthPolicy(thresholds=(0.5,), depths=(1, 4))
+        assert policy.depth_for(0.4) == 1
+        assert policy.depth_for(0.6) == 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DepthPolicy(thresholds=(0.1, 0.2), depths=(1, 2))
+
+    def test_fixed_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DepthPolicy(fixed=0)
+
+
+class TestEmbedderConfig:
+    def test_defaults_match_paper(self):
+        config = EmbedderConfig()
+        assert config.space_factor == 1.7
+        assert config.strategy == "vision"
+        assert config.max_repair_steps == 50
+        assert config.reconstruct_efficiency_limit == 0.6
+
+    def test_space_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            EmbedderConfig(space_factor=1.0)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            EmbedderConfig(strategy="magic")
+
+    def test_repair_budget_positive(self):
+        with pytest.raises(ValueError):
+            EmbedderConfig(max_repair_steps=0)
+
+    def test_efficiency_limit_range(self):
+        with pytest.raises(ValueError):
+            EmbedderConfig(reconstruct_efficiency_limit=0.0)
+        with pytest.raises(ValueError):
+            EmbedderConfig(reconstruct_efficiency_limit=1.5)
+
+    def test_frozen(self):
+        config = EmbedderConfig()
+        with pytest.raises(AttributeError):
+            config.space_factor = 2.0

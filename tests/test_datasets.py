@@ -1,0 +1,139 @@
+"""Dataset generators: sizes, determinism, distributions."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    dblp,
+    load,
+    mac_table,
+    machine_learning,
+    random_keys,
+    random_pairs,
+    synthetic_like,
+    uniform_queries,
+    zipf_queries,
+)
+from repro.datasets.real_world import (
+    DBLP_SIZE,
+    MAC_TABLE_SIZE,
+    MACHINE_LEARNING_SIZE,
+)
+
+
+class TestRandomKeys:
+    def test_exact_count_and_uniqueness(self):
+        keys = random_keys(5000, seed=1)
+        assert len(keys) == 5000
+        assert len(np.unique(keys)) == 5000
+
+    def test_deterministic(self):
+        assert np.array_equal(random_keys(100, seed=7), random_keys(100, seed=7))
+
+    def test_seed_changes_keys(self):
+        assert not np.array_equal(random_keys(100, seed=1),
+                                  random_keys(100, seed=2))
+
+    def test_key_bits_bound(self):
+        keys = random_keys(1000, seed=1, key_bits=20)
+        assert int(keys.max()) < 1 << 20
+
+    def test_impossible_request_rejected(self):
+        with pytest.raises(ValueError):
+            random_keys(10, seed=1, key_bits=3)
+
+    def test_dense_small_space(self):
+        # Drawing all 2^8 distinct keys must terminate and be exact.
+        keys = random_keys(256, seed=1, key_bits=8)
+        assert len(np.unique(keys)) == 256
+
+
+class TestRandomPairs:
+    def test_value_range(self):
+        _keys, values = random_pairs(2000, value_bits=3, seed=5)
+        assert int(values.max()) < 8
+
+    def test_values_use_full_range(self):
+        _keys, values = random_pairs(2000, value_bits=2, seed=5)
+        assert set(np.unique(values).tolist()) == {0, 1, 2, 3}
+
+
+class TestQueries:
+    def test_uniform_queries_from_key_set(self):
+        keys = random_keys(500, seed=2)
+        queries = uniform_queries(keys, 2000, seed=3)
+        assert len(queries) == 2000
+        assert set(queries.tolist()) <= set(keys.tolist())
+
+    def test_zipf_queries_are_skewed(self):
+        keys = random_keys(1000, seed=4)
+        queries = zipf_queries(keys, 20_000, seed=5, alpha=1.0)
+        _unique, counts = np.unique(queries, return_counts=True)
+        top_share = np.sort(counts)[::-1][:10].sum() / len(queries)
+        # With alpha=1 over 1000 ranks, the top-10 keys draw far more than
+        # the uniform 1% share.
+        assert top_share > 0.2
+
+    def test_zipf_alpha_validation(self):
+        with pytest.raises(ValueError):
+            zipf_queries(random_keys(10, seed=1), 10, seed=1, alpha=0)
+
+    def test_zipf_empty_keys_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_queries(np.array([], dtype=np.uint64), 10, seed=1)
+
+
+class TestRealWorldStandins:
+    def test_paper_sizes(self):
+        assert mac_table().size == MAC_TABLE_SIZE == 2731
+        assert machine_learning(scale=0.01).size == round(
+            MACHINE_LEARNING_SIZE * 0.01
+        )
+        assert load("DBLP", scale=0.001).size == round(DBLP_SIZE * 0.001)
+
+    def test_mac_table_key_width(self):
+        dataset = mac_table()
+        assert dataset.key_bits == 48
+        assert int(dataset.keys.max()) < 1 << 48
+
+    def test_all_values_fit_value_bits(self):
+        for name in DATASET_NAMES:
+            dataset = load(name, scale=0.01)
+            assert int(dataset.values.max()) < 1 << dataset.value_bits
+
+    def test_keys_unique(self):
+        dataset = mac_table()
+        assert len(np.unique(dataset.keys)) == dataset.size
+
+    def test_deterministic(self):
+        a = dblp(scale=0.005)
+        b = dblp(scale=0.005)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.values, b.values)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            mac_table(scale=0)
+        with pytest.raises(ValueError):
+            mac_table(scale=1.5)
+
+    def test_pairs_iteration(self):
+        dataset = mac_table(scale=0.01)
+        pairs = list(dataset.pairs())
+        assert len(pairs) == dataset.size
+        assert all(isinstance(k, int) for k, _ in pairs)
+
+
+class TestRegistry:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load("NotADataset")
+
+    def test_synthetic_like_matches_scale(self):
+        real = mac_table(scale=0.5)
+        twin = synthetic_like(real, seed=9)
+        assert twin.size == real.size
+        assert twin.value_bits == real.value_bits
+        assert twin.name == "SynMACTable"
+        assert not np.array_equal(twin.keys, real.keys)

@@ -1,0 +1,264 @@
+"""VisionEmbedder: the full dynamic table API and failure policy."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DuplicateKey,
+    EmbedderConfig,
+    KeyNotFound,
+    SpaceExhausted,
+    VisionEmbedder,
+)
+from repro.core.config import DepthPolicy
+
+
+def _random_pairs(n, value_bits, seed):
+    rng = random.Random(seed)
+    pairs = {}
+    while len(pairs) < n:
+        pairs[rng.getrandbits(48)] = rng.getrandbits(value_bits)
+    return pairs
+
+
+def _filled(n=500, value_bits=8, seed=3, **kwargs):
+    table = VisionEmbedder(n, value_bits, seed=seed, **kwargs)
+    pairs = _random_pairs(n, value_bits, seed)
+    for key, value in pairs.items():
+        table.insert(key, value)
+    return table, pairs
+
+
+class TestBasicOperations:
+    def test_insert_lookup_roundtrip(self):
+        table, pairs = _filled(400)
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+
+    def test_len_and_contains(self):
+        table, pairs = _filled(100)
+        assert len(table) == 100
+        key = next(iter(pairs))
+        assert key in table
+        assert (1 << 63) + 12345 not in table
+
+    def test_duplicate_insert_rejected(self):
+        table, pairs = _filled(50)
+        key = next(iter(pairs))
+        with pytest.raises(DuplicateKey):
+            table.insert(key, 0)
+
+    def test_update_changes_value(self):
+        table, pairs = _filled(200)
+        for key in list(pairs)[:50]:
+            table.update(key, (pairs[key] + 1) % 256)
+        table.check_invariants()
+        for key in list(pairs)[:50]:
+            assert table.lookup(key) == (pairs[key] + 1) % 256
+
+    def test_update_unknown_key_rejected(self):
+        table, _ = _filled(20)
+        with pytest.raises(KeyNotFound):
+            table.update(999_999_999_999, 1)
+
+    def test_delete_then_reinsert(self):
+        table, pairs = _filled(200)
+        victims = list(pairs)[:80]
+        for key in victims:
+            table.delete(key)
+        assert len(table) == 120
+        table.check_invariants()
+        for key in victims:
+            table.insert(key, 7)
+        assert all(table.lookup(k) == 7 for k in victims)
+
+    def test_delete_unknown_rejected(self):
+        table, _ = _filled(20)
+        with pytest.raises(KeyNotFound):
+            table.delete(424242)
+
+    def test_put_inserts_then_updates(self):
+        table = VisionEmbedder(100, 8, seed=1)
+        table.put("k", 5)
+        assert table.lookup("k") == 5
+        table.put("k", 9)
+        assert table.lookup("k") == 9
+        assert len(table) == 1
+
+    def test_alien_key_returns_value_not_error(self):
+        table, _ = _filled(100)
+        # VO semantics: a meaningless value, never an exception.
+        result = table.lookup(b"never inserted")
+        assert 0 <= result < 256
+
+
+class TestKeyTypes:
+    def test_str_bytes_int_keys(self):
+        table = VisionEmbedder(100, 8, seed=1)
+        table.insert("alpha", 1)
+        table.insert(b"beta", 2)
+        table.insert(12345, 3)
+        assert table.lookup("alpha") == 1
+        assert table.lookup(b"beta") == 2
+        assert table.lookup(12345) == 3
+
+    def test_value_out_of_range_rejected(self):
+        table = VisionEmbedder(10, 4, seed=1)
+        with pytest.raises(ValueError):
+            table.insert(1, 16)
+        with pytest.raises(ValueError):
+            table.insert(2, -1)
+
+
+class TestBatchLookup:
+    def test_matches_scalar(self):
+        table, pairs = _filled(300)
+        keys = np.fromiter(pairs, dtype=np.uint64)
+        batch = table.lookup_batch(keys)
+        for key, value in zip(keys.tolist(), batch.tolist()):
+            assert value == table.lookup(key)
+
+    def test_empty_batch(self):
+        table, _ = _filled(10)
+        assert len(table.lookup_batch(np.array([], dtype=np.uint64))) == 0
+
+
+class TestSpaceAccounting:
+    def test_space_bits_analytic(self):
+        table = VisionEmbedder(1000, 8, seed=1)
+        assert table.space_bits == table.num_cells * 8
+        assert table.num_cells >= 1700
+
+    def test_space_cost_near_1_7(self):
+        table, _ = _filled(1000)
+        assert 1.69 < table.space_cost < 1.72
+
+    def test_space_efficiency(self):
+        table, _ = _filled(850, value_bits=4, seed=2)
+        assert table.space_efficiency == pytest.approx(
+            850 / table.num_cells
+        )
+
+    def test_custom_space_factor(self):
+        config = EmbedderConfig(space_factor=2.0)
+        table = VisionEmbedder(300, 4, config=config, seed=1)
+        assert table.num_cells >= 600
+
+
+class TestReconstruction:
+    def test_explicit_reconstruct_preserves_pairs(self):
+        table, pairs = _filled(300)
+        old_seed = table.seed
+        table.reconstruct()
+        assert table.seed > old_seed
+        assert table.stats.reconstructions >= 1
+        table.check_invariants()
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+
+    def test_reconstruct_records_time(self):
+        table, _ = _filled(300)
+        table.reconstruct()
+        assert table.stats.reconstruct_seconds > 0
+
+    def test_fill_to_paper_limit(self):
+        # 1.7L budget must accept a full capacity load without giving up.
+        table, _ = _filled(2000, value_bits=1, seed=5)
+        assert len(table) == 2000
+        table.check_invariants()
+
+
+class TestFailurePolicy:
+    def test_space_exhausted_beyond_capacity(self):
+        table = VisionEmbedder(100, 4, seed=1)
+        pairs = _random_pairs(400, 4, 1)
+        with pytest.raises(SpaceExhausted):
+            for key, value in pairs.items():
+                table.insert(key, value)
+        # Inserted prefix must still be fully correct (rollback worked).
+        table.check_invariants()
+        assert len(table) > 100
+
+    def test_rollback_on_rejected_insert(self):
+        table = VisionEmbedder(60, 4, seed=1)
+        pairs = _random_pairs(300, 4, 2)
+        rejected = None
+        for key, value in pairs.items():
+            try:
+                table.insert(key, value)
+            except SpaceExhausted:
+                rejected = key
+                break
+        assert rejected is not None
+        assert rejected not in table
+        table.check_invariants()
+
+    def test_rollback_on_rejected_update(self):
+        # A width-1 table: every key shares the same three cells, so two
+        # keys with different values are deterministically unsolvable.
+        config = EmbedderConfig(auto_reconstruct=False)
+        table = VisionEmbedder(1, 4, config=config, seed=3)
+        table.insert("a", 3)
+        table.insert("b", 3)  # identical value: consistent for free
+        with pytest.raises(SpaceExhausted):
+            table.update("b", 5)
+        # The failed update must leave the old value intact.
+        assert table.lookup("b") == 3
+        assert table.lookup("a") == 3
+        table.check_invariants()
+
+    def test_rollback_on_deterministic_conflicting_insert(self):
+        config = EmbedderConfig(auto_reconstruct=False)
+        table = VisionEmbedder(1, 4, config=config, seed=3)
+        table.insert("a", 3)
+        with pytest.raises(SpaceExhausted):
+            table.insert("b", 5)  # same cells, different value
+        assert "b" not in table
+        assert table.lookup("a") == 3
+        table.check_invariants()
+
+
+class TestStrategies:
+    def test_simple_strategy_works_with_room(self):
+        config = EmbedderConfig(strategy="simple", space_factor=5.0)
+        table = VisionEmbedder(300, 4, config=config, seed=1)
+        pairs = _random_pairs(300, 4, 4)
+        for key, value in pairs.items():
+            table.insert(key, value)
+        table.check_invariants()
+
+    def test_fixed_depth_policy(self):
+        config = EmbedderConfig(
+            depth_policy=DepthPolicy(fixed=3), space_factor=1.8
+        )
+        table = VisionEmbedder(500, 4, config=config, seed=1)
+        pairs = _random_pairs(500, 4, 5)
+        for key, value in pairs.items():
+            table.insert(key, value)
+        table.check_invariants()
+
+
+class TestFromPairs:
+    def test_builds_and_answers(self):
+        pairs = list(_random_pairs(200, 8, 6).items())
+        table = VisionEmbedder.from_pairs(pairs, value_bits=8, seed=2)
+        for key, value in pairs:
+            assert table.lookup(key) == value
+
+    def test_explicit_capacity(self):
+        pairs = [(1, 1), (2, 2)]
+        table = VisionEmbedder.from_pairs(pairs, value_bits=4, capacity=100)
+        assert table.num_cells >= 170
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            VisionEmbedder(0, 8)
+
+    def test_stats_accumulate(self):
+        table, _ = _filled(200)
+        assert table.stats.updates == 200
+        assert table.stats.repair_steps >= 200

@@ -1,0 +1,166 @@
+"""Experiment drivers: every figure/table regenerates and has sane shape.
+
+Drivers run at very small scale here (structure + robust shape checks
+only); benchmarks/ runs them at reporting scale.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.reporting import ExperimentResult
+
+TINY = 0.05
+
+
+def _rows_by(result, **filters):
+    out = []
+    for row in result.rows:
+        record = dict(zip(result.columns, row))
+        if all(record.get(k) == v for k, v in filters.items()):
+            out.append(record)
+    return out
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {
+            "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12", "deletion", "fig13",
+            "table3", "theory",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+
+class TestCheapDrivers:
+    def test_table1(self):
+        result = run_experiment("table1")
+        assert isinstance(result, ExperimentResult)
+        assert len(result.rows) == 3
+
+    def test_theory(self):
+        result = run_experiment("theory")
+        computed = dict(zip(result.column("quantity"), result.column("computed")))
+        assert computed["lambda' (E[X_min]=1)"] == pytest.approx(1.709, abs=0.01)
+        assert computed["(m/n)' = 3/lambda'"] == pytest.approx(1.756, abs=0.01)
+
+    def test_table3(self):
+        result = run_experiment("table3", scale=TINY)
+        totals = _rows_by(result, module="Total")[0]
+        assert totals["CLB LUTs"] == 581
+        assert totals["Block RAM"] == 385
+        check = _rows_by(result, module="Pipeline check")[0]
+        assert "correct" in str(check["CLB LUTs"])
+
+
+class TestMeasuredDrivers:
+    def test_fig4_vision_beats_two_hash(self):
+        # n floors at 64 at tiny scale; use 0.5 so the largest series
+        # (n=1024) is big enough for the O(1/n) vs O(1) gap to show.
+        result = run_experiment("fig4", scale=0.5, trials=20)
+        largest_n = max(r["n"] for r in _rows_by(result, algorithm="vision"))
+        vision = _rows_by(result, algorithm="vision", n=largest_n)[0]
+        othello = _rows_by(result, algorithm="othello", n=largest_n)[0]
+        color = _rows_by(result, algorithm="color", n=largest_n)[0]
+        two_hash_mean = (
+            othello["failures/insertion"] + color["failures/insertion"]
+        ) / 2
+        # The paper's headline: vision fails far less often than two-hash.
+        assert vision["failures/insertion"] < two_hash_mean
+
+    def test_fig5_and_fig6_structure(self):
+        for name in ("fig5", "fig6"):
+            result = run_experiment(name, scale=TINY)
+            mops = [r["Mops"] for r in _rows_by(result, algorithm="vision")]
+            assert all(m > 0 for m in mops)
+            bloomier = [r["Mops"] for r in _rows_by(result, algorithm="bloomier")]
+            # Bloomier's O(n) insert is orders slower than everyone's O(1).
+            assert max(bloomier) < min(mops)
+
+    def test_fig7_structure(self):
+        result = run_experiment("fig7", scale=TINY)
+        for record in result.rows:
+            _algo, _ops, p50, p90, p99, p999, latency_max = record
+            assert p50 <= p90 <= p99 <= p999 <= latency_max
+
+    def test_fig8_two_hash_degrades_with_L(self):
+        result = run_experiment("fig8", scale=TINY)
+        for name in ("othello", "color"):
+            series = _rows_by(result, sweep="vs L", algorithm=name)
+            series.sort(key=lambda r: r["L"])
+            assert series[0]["L"] == 1 and series[-1]["L"] == 10
+            # Bit-plane storage: L=10 must be clearly slower than L=1.
+            assert series[-1]["Mops"] < 0.7 * series[0]["Mops"]
+
+    def test_fig9_runs_all_datasets(self):
+        result = run_experiment("fig9", scale=TINY)
+        names = set(result.column("dataset"))
+        assert {"MACTable", "SynMACTable", "MachineLearning",
+                "SynMachineLearning", "DBLP", "SynDBLP"} == names
+        # Failures must be rare (tiny workloads can hit the odd reseed).
+        assert all(f <= 2 for f in result.column("failures"))
+
+    def test_fig10_11_12_seed_stability(self):
+        for name in ("fig10", "fig11", "fig12"):
+            result = run_experiment(name, scale=TINY)
+            assert len(result.rows) == 5
+            assert "relative_spread" in result.parameters
+
+    def test_deletion_positive_throughput(self):
+        result = run_experiment("deletion", scale=TINY)
+        assert all(r[-1] > 0 for r in result.rows)
+
+    def test_fig13_runs_thread_sweep(self):
+        result = run_experiment("fig13", scale=TINY)
+        assert result.column("threads") == [1, 2, 4, 8]
+        speedups = result.column("update speedup")
+        assert all(s > 0 for s in speedups)
+
+
+class TestSlowDrivers:
+    def test_fig3_min_space_ordering(self):
+        result = run_experiment("fig3", scale=TINY)
+        rows = _rows_by(result, sweep="vs n")
+        largest_n = max(r["n"] for r in rows)
+        by_algo = {
+            r["algorithm"]: r["space cost"]
+            for r in rows
+            if r["n"] == largest_n
+        }
+        assert not math.isnan(by_algo["vision"])
+        # Vision must need less minimum space than both two-hash schemes.
+        assert by_algo["vision"] < by_algo["othello"]
+        assert by_algo["vision"] < by_algo["color"]
+
+    def test_ablation_strategy_vision_fills_tighter(self):
+        result = run_experiment("ablation-strategy", scale=TINY)
+        vision_rows = _rows_by(result, strategy="vision")
+        assert all(r["filled"] == "yes" for r in vision_rows)
+        simple_at_17 = _rows_by(result, strategy="simple")[0]
+        vision_at_17 = vision_rows[0]
+        assert simple_at_17["failures"] >= vision_at_17["failures"]
+
+    def test_ablation_depth_dynamic_fills(self):
+        result = run_experiment("ablation-depth", scale=TINY)
+        records = {r[0]: r for r in result.rows}
+        assert records["dynamic"][1] == "yes"
+        # Depth 1 must pay more repair steps than depth 3 at 1.7L.
+        assert records["depth=1"][4] >= records["depth=3"][4]
+
+    def test_ablation_ludo_vision_locator_smaller(self):
+        result = run_experiment("ablation-ludo", scale=TINY)
+        by_locator = {r[0]: r for r in result.rows}
+        assert (by_locator["vision"][1] < by_locator["othello"][1])
+
+
+class TestRendering:
+    def test_every_driver_renders(self):
+        # Only the genuinely cheap ones; rendering is the point here.
+        for name in ("table1", "theory", "table3"):
+            text = run_experiment(name, scale=TINY).render()
+            assert name in text

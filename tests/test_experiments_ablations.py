@@ -1,0 +1,35 @@
+"""The extension ablations: array count and construction method."""
+
+import pytest
+
+from repro.bench.experiments import run_experiment
+
+
+class TestAblationArrays:
+    def test_thresholds_match_theory(self):
+        result = run_experiment("ablation-arrays", scale=0.1)
+        rows = {r[0]: r for r in result.rows}
+        assert rows[3][1] == pytest.approx(1.756, abs=0.01)
+        assert rows[4][1] == pytest.approx(1.857, abs=0.01)
+
+    def test_both_geometries_fill(self):
+        result = run_experiment("ablation-arrays", scale=0.1)
+        assert all(r[3] == "yes" for r in result.rows)
+
+    def test_three_arrays_lookup_faster(self):
+        result = run_experiment("ablation-arrays", scale=0.25)
+        rows = {r[0]: r for r in result.rows}
+        # A 4th memory read per lookup must not come for free.
+        assert rows[3][6] > 0 and rows[4][6] > 0
+
+
+class TestAblationConstruction:
+    def test_static_builds_faster(self):
+        result = run_experiment("ablation-construction", scale=0.25)
+        by_method = {r[0]: r for r in result.rows}
+        assert by_method["static"][1] > by_method["dynamic"][1]
+
+    def test_columns(self):
+        result = run_experiment("ablation-construction", scale=0.1)
+        assert result.columns == ["method", "build Mops", "rebuild ms",
+                                  "failures"]

@@ -1,0 +1,76 @@
+"""Machine-readable exports and the CLI's format/output options."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.export import (
+    result_to_csv,
+    result_to_json,
+    results_to_csv,
+    results_to_json,
+)
+from repro.bench.reporting import ExperimentResult
+
+
+def _result(name="figX"):
+    return ExperimentResult(
+        experiment=name,
+        title="A figure",
+        columns=["n", "Mops"],
+        rows=[(10, 1.5), (20, 2.5)],
+        notes="note",
+        parameters={"scale": 0.5},
+    )
+
+
+class TestJson:
+    def test_round_trips(self):
+        doc = json.loads(result_to_json(_result()))
+        assert doc["experiment"] == "figX"
+        assert doc["columns"] == ["n", "Mops"]
+        assert doc["rows"] == [[10, 1.5], [20, 2.5]]
+        assert doc["parameters"] == {"scale": 0.5}
+
+    def test_multiple(self):
+        docs = json.loads(results_to_json([_result("a"), _result("b")]))
+        assert [d["experiment"] for d in docs] == ["a", "b"]
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        rows = list(csv.reader(io.StringIO(result_to_csv(_result()))))
+        assert rows[0] == ["experiment", "n", "Mops"]
+        assert rows[1] == ["figX", "10", "1.5"]
+
+    def test_multiple_blocks(self):
+        text = results_to_csv([_result("a"), _result("b")])
+        assert text.count("experiment,n,Mops") == 2
+
+
+class TestCliFormats:
+    def test_json_format(self, capsys):
+        assert main(["table1", "--format", "json"]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert docs[0]["experiment"] == "table1"
+
+    def test_csv_format(self, capsys):
+        assert main(["table1", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("experiment,")
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        assert main(["theory", "--format", "json",
+                     "--output", str(target)]) == 0
+        docs = json.loads(target.read_text())
+        assert docs[0]["experiment"] == "theory"
+        assert "wrote 1 experiment" in capsys.readouterr().out
+
+    def test_text_output_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        assert main(["table1", "--output", str(target)]) == 0
+        assert "Bloomier" in target.read_text()

@@ -1,0 +1,70 @@
+"""Table factory: names, budget overrides, passthrough options."""
+
+import pytest
+
+from repro.baselines import Bloomier, ColoringEmbedder, Ludo, Othello
+from repro.core import ConcurrentVisionEmbedder, EmbedderConfig, VisionEmbedder
+from repro.factory import TABLE_NAMES, make_table
+
+
+class TestNames:
+    def test_all_registered_names_build(self):
+        for name in TABLE_NAMES:
+            table = make_table(name, 100, 4)
+            assert table.value_bits == 4
+
+    def test_types(self):
+        assert isinstance(make_table("vision", 10, 4), VisionEmbedder)
+        assert isinstance(make_table("vision-mt", 10, 4),
+                          ConcurrentVisionEmbedder)
+        assert isinstance(make_table("bloomier", 10, 4), Bloomier)
+        assert isinstance(make_table("othello", 10, 4), Othello)
+        assert isinstance(make_table("color", 10, 4), ColoringEmbedder)
+        assert isinstance(make_table("ludo", 10, 4), Ludo)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_table("magic", 10, 4)
+
+
+class TestSpaceFactorOverrides:
+    def test_vision_factor(self):
+        table = make_table("vision", 300, 4, space_factor=2.0)
+        assert table.num_cells >= 600
+
+    def test_othello_factor_keeps_split(self):
+        table = make_table("othello", 1000, 4, space_factor=2.8)
+        assert table.space_bits == pytest.approx(2.8 * 4 * 1000, rel=0.01)
+        assert table._ma / table._mb == pytest.approx(1.33, rel=0.02)
+
+    def test_color_factor(self):
+        table = make_table("color", 1000, 4, space_factor=2.5)
+        assert table.space_bits == pytest.approx(2.5 * 4 * 1000, rel=0.01)
+
+    def test_bloomier_factor(self):
+        table = make_table("bloomier", 100, 4, space_factor=1.5)
+        assert table.space_factor == 1.5
+
+    def test_ludo_factor_adjusts_load(self):
+        loose = make_table("ludo", 1000, 4, space_factor=2.0)
+        tight = make_table("ludo", 1000, 4, space_factor=1.1)
+        assert loose._num_buckets > tight._num_buckets
+
+
+class TestConfigPassthrough:
+    def test_vision_config_kwargs(self):
+        table = make_table(
+            "vision", 100, 4,
+            config_kwargs={"strategy": "simple", "space_factor": 3.0},
+        )
+        assert table.config.strategy == "simple"
+        assert table.config.space_factor == 3.0
+
+    def test_vision_explicit_config(self):
+        config = EmbedderConfig(max_repair_steps=99)
+        table = make_table("vision", 100, 4, config=config)
+        assert table.config.max_repair_steps == 99
+
+    def test_ludo_locator_kwarg(self):
+        table = make_table("ludo", 100, 4, locator="vision")
+        assert table.locator_kind == "vision"

@@ -1,0 +1,150 @@
+"""FPGA simulator: Table III calibration and the cycle-exact pipeline."""
+
+import random
+
+import pytest
+
+from repro.core.embedder import VisionEmbedder
+from repro.fpga.pipeline import NUM_STAGES, LookupPipeline
+from repro.fpga.platform import VU13P_LIKE, FpgaDevice
+from repro.fpga.resources import brams_for_array, estimate_resources
+
+
+class TestResourceEstimates:
+    def test_table3_anchor_point(self):
+        """The default geometry must reproduce the paper's Table III."""
+        report = estimate_resources(depth=1 << 19, value_bits=8)
+        assert report.hash_luts == 76
+        assert report.hash_registers == 66
+        assert report.engine_luts == 505
+        assert report.engine_registers == 631
+        assert report.total_luts == 581
+        assert report.total_registers == 697
+        assert report.block_rams == 385
+        assert report.frequency_mhz == pytest.approx(279.64, abs=0.01)
+
+    def test_table3_usage_percentages(self):
+        """Paper: 0.03% LUTs, 0.02% registers, 14.32% BRAM."""
+        usage = estimate_resources().usage()
+        assert usage["clb_luts"] == pytest.approx(0.0003, abs=0.0001)
+        assert usage["clb_registers"] == pytest.approx(0.0002, abs=0.0001)
+        assert usage["block_ram"] == pytest.approx(0.1432, abs=0.0005)
+
+    def test_capacity_is_0_95_million(self):
+        report = estimate_resources()
+        assert report.capacity_pairs == pytest.approx(950_000, rel=0.05)
+
+    def test_throughput_equals_frequency(self):
+        report = estimate_resources()
+        assert report.lookup_mops == report.frequency_mhz
+
+    def test_bram_math(self):
+        # 2^19 deep, 8-bit wide on 4096x9 tiles: 128 per array.
+        assert brams_for_array(1 << 19, 8, VU13P_LIKE) == 128
+        # 10-bit values need two 9-bit lanes.
+        assert brams_for_array(1 << 19, 10, VU13P_LIKE) == 256
+        assert brams_for_array(4096, 8, VU13P_LIKE) == 1
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            brams_for_array(0, 8, VU13P_LIKE)
+
+    def test_smaller_table_is_faster_and_smaller(self):
+        small = estimate_resources(depth=1 << 12, value_bits=8)
+        big = estimate_resources(depth=1 << 19, value_bits=8)
+        assert small.block_rams < big.block_rams
+        assert small.frequency_mhz > big.frequency_mhz
+
+    def test_frequency_capped_by_device(self):
+        report = estimate_resources(depth=2, value_bits=1)
+        assert report.frequency_mhz <= VU13P_LIKE.f_max_mhz
+
+
+class TestDevice:
+    def test_usage_fractions(self):
+        device = FpgaDevice("d", 1000, 2000, 100)
+        assert device.lut_usage(10) == 0.01
+        assert device.register_usage(10) == 0.005
+        assert device.bram_usage(50) == 0.5
+
+
+def _built_embedder(n=300, seed=4):
+    table = VisionEmbedder(n, 8, seed=seed)
+    rng = random.Random(seed)
+    pairs = {}
+    while len(pairs) < n:
+        pairs[rng.getrandbits(48)] = rng.getrandbits(8)
+    for key, value in pairs.items():
+        table.insert(key, value)
+    return table, pairs
+
+
+class TestPipeline:
+    def test_functional_equivalence_with_software(self):
+        table, pairs = _built_embedder()
+        pipeline = LookupPipeline.from_embedder(table)
+        keys = list(pairs)
+        result = pipeline.run(keys)
+        assert len(result.values) == len(keys)
+        for key, value in zip(keys, result.values):
+            assert value == pairs[key]
+
+    def test_latency_is_three_cycles(self):
+        table, pairs = _built_embedder(50)
+        pipeline = LookupPipeline.from_embedder(table)
+        key = next(iter(pairs))
+        outputs = [pipeline.step(key)]
+        outputs += [pipeline.step(None) for _ in range(NUM_STAGES)]
+        # The result appears exactly NUM_STAGES cycles after acceptance.
+        assert outputs[:NUM_STAGES] == [None] * NUM_STAGES
+        assert outputs[NUM_STAGES] == pairs[key]
+
+    def test_initiation_interval_one(self):
+        table, pairs = _built_embedder(200)
+        pipeline = LookupPipeline.from_embedder(table)
+        result = pipeline.run(list(pairs))
+        # Fill + drain only: n + NUM_STAGES cycles for n lookups.
+        assert result.cycles == len(pairs) + NUM_STAGES
+
+    def test_throughput_approaches_frequency(self):
+        table, pairs = _built_embedder(1000)
+        pipeline = LookupPipeline.from_embedder(table, frequency_mhz=279.64)
+        result = pipeline.run(list(pairs))
+        assert result.throughput_mops == pytest.approx(279.64, rel=0.01)
+
+    def test_bubbles_pass_through(self):
+        table, pairs = _built_embedder(10)
+        pipeline = LookupPipeline.from_embedder(table)
+        keys = list(pairs)[:2]
+        pipeline.step(keys[0])
+        pipeline.step(None)  # bubble between queries
+        pipeline.step(keys[1])
+        outputs = [pipeline.step(None) for _ in range(4)]
+        assert outputs[0] == pairs[keys[0]]
+        assert outputs[1] is None  # the bubble
+        assert outputs[2] == pairs[keys[1]]
+
+    def test_flush_drains_everything(self):
+        table, pairs = _built_embedder(10)
+        pipeline = LookupPipeline.from_embedder(table)
+        keys = list(pairs)[:3]
+        for key in keys:
+            pipeline.step(key)
+        drained = pipeline.flush()
+        # One result was produced during feeding? No: 3 feeds < latency,
+        # so all 3 results appear during the flush.
+        assert drained == [pairs[k] for k in keys]
+
+    def test_mismatched_hash_arity_rejected(self):
+        from repro.core.value_table import ValueTable
+        from repro.hashing import HashFamily
+
+        with pytest.raises(ValueError):
+            LookupPipeline(ValueTable(8, 8), HashFamily(1, [8, 8]))
+
+    def test_empty_run(self):
+        table, _ = _built_embedder(10)
+        pipeline = LookupPipeline.from_embedder(table)
+        result = pipeline.run([])
+        assert result.values == ()
+        assert result.throughput_mops == 0.0

@@ -1,0 +1,115 @@
+"""Bloom-filter guard: alien detection in front of a VO table."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps.guarded import BloomFilter, GuardedTable
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=2000, false_positive_rate=0.01, seed=2)
+        keys = random.Random(1).sample(range(1 << 40), 2000)
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.might_contain(key) for key in keys)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter(capacity=5000, false_positive_rate=0.01, seed=2)
+        rng = random.Random(3)
+        for key in rng.sample(range(1 << 40), 5000):
+            bloom.add(key)
+        aliens = [(1 << 50) + i for i in range(20_000)]
+        fp = sum(1 for key in aliens if bloom.might_contain(key))
+        assert fp / len(aliens) < 0.03  # target 1%, generous ceiling
+
+    def test_batch_matches_scalar(self):
+        bloom = BloomFilter(capacity=500, false_positive_rate=0.02, seed=5)
+        rng = random.Random(4)
+        for key in rng.sample(range(1 << 40), 500):
+            bloom.add(key)
+        probes = np.arange(2000, dtype=np.uint64)
+        batch = bloom.might_contain_batch(probes)
+        for key, hit in zip(probes.tolist(), batch.tolist()):
+            assert hit == bloom.might_contain(key)
+
+    def test_sizing_formula(self):
+        bloom = BloomFilter(capacity=1000, false_positive_rate=0.01)
+        assert bloom.num_bits / 1000 == pytest.approx(9.585, rel=0.01)
+        assert bloom.num_hashes in (6, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=0)
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=10, false_positive_rate=1.5)
+
+
+class TestGuardedTable:
+    def _filled(self, n=1500, seed=7):
+        table = GuardedTable(capacity=n, value_bits=8, seed=seed)
+        rng = random.Random(seed)
+        pairs = {}
+        while len(pairs) < n:
+            pairs[rng.getrandbits(40)] = rng.getrandbits(8)
+        for key, value in pairs.items():
+            table.insert(key, value)
+        return table, pairs
+
+    def test_members_answer_exactly(self):
+        table, pairs = self._filled()
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+
+    def test_aliens_mostly_return_none(self):
+        table, _ = self._filled()
+        aliens = [(1 << 50) + i for i in range(10_000)]
+        nones = sum(1 for key in aliens if table.lookup(key) is None)
+        assert nones / len(aliens) > 0.97
+
+    def test_update(self):
+        table, pairs = self._filled(n=300)
+        key = next(iter(pairs))
+        table.update(key, 99)
+        assert table.lookup(key) == 99
+
+    def test_deleted_key_degrades_to_vo_semantics(self):
+        table, pairs = self._filled(n=300)
+        key = next(iter(pairs))
+        table.delete(key)
+        assert key not in table
+        # Guard bits remain: the lookup may return a meaningless value, but
+        # must not crash; after compaction it usually becomes None again.
+        _ = table.lookup(key)
+        table.compact()
+        aliens_after = sum(
+            1 for probe in range(10_000)
+            if table.lookup((1 << 51) + probe) is None
+        )
+        assert aliens_after > 9700
+
+    def test_batch_lookup(self):
+        table, pairs = self._filled(n=400)
+        keys = np.fromiter(pairs, dtype=np.uint64)
+        mask, values = table.lookup_batch(keys)
+        assert mask.all()
+        for key, value in zip(keys.tolist(), values.tolist()):
+            assert value == pairs[key]
+
+    def test_space_accounting_includes_guard(self):
+        table, _ = self._filled(n=1000)
+        # ~1.7·8 bits for values + ~9.6 bits of guard per key.
+        per_key = table.space_bits / 1000
+        assert 20 < per_key < 27
+
+    def test_custom_inner_table(self):
+        from repro.baselines.othello import Othello
+
+        inner = Othello(100, 4, seed=1)
+        table = GuardedTable(100, 4, table=inner)
+        table.insert(5, 3)
+        assert table.lookup(5) == 3
+        with pytest.raises(TypeError):
+            table.compact()  # Othello does not expose _assistant

@@ -1,0 +1,179 @@
+"""Integration tests: end-to-end application scenarios across modules."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import EmbedderConfig, Ludo, VisionEmbedder, make_table
+from repro.datasets import load, mac_table, uniform_queries, zipf_queries
+from repro.fpga import LookupPipeline, estimate_resources
+
+
+class TestMacAddressTableScenario:
+    """The paper's motivating application: a switch MAC table in SRAM."""
+
+    def test_full_mac_table_lifecycle(self):
+        dataset = mac_table()
+        table = VisionEmbedder(dataset.size, dataset.value_bits, seed=3)
+        for mac, port_type in dataset.pairs():
+            table.insert(mac, port_type)
+        assert len(table) == 2731
+        # All entries answer correctly from fast space.
+        queries = dataset.keys
+        answers = table.lookup_batch(queries)
+        assert np.array_equal(answers, dataset.values)
+        # Aging: dynamic entries churn.
+        aged = dataset.keys[:500].tolist()
+        for mac in aged:
+            table.delete(mac)
+        for mac in aged:
+            table.insert(mac, 0)
+        assert all(table.lookup(mac) == 0 for mac in aged)
+        # Fast space is about 1.7 bits per entry for the 1-bit value.
+        assert table.space_cost < 1.8
+
+    def test_mac_table_on_fpga_pipeline(self):
+        dataset = mac_table(scale=0.2)
+        table = VisionEmbedder(dataset.size, 1, seed=3)
+        for mac, port_type in dataset.pairs():
+            table.insert(mac, port_type)
+        report = estimate_resources(depth=table._table.width, value_bits=1)
+        pipeline = LookupPipeline.from_embedder(
+            table, frequency_mhz=report.frequency_mhz
+        )
+        result = pipeline.run(dataset.keys.tolist())
+        assert list(result.values) == dataset.values.tolist()
+        assert result.throughput_mops > 100  # one lookup per cycle
+
+
+class TestDistributedDirectoryScenario:
+    """Smash-style client-side directory: key -> backend node id."""
+
+    NODES = 16  # 4-bit values
+
+    def test_directory_with_rebalancing(self):
+        rng = random.Random(1)
+        n = 3000
+        keys = rng.sample(range(1 << 48), n)
+        placement = {k: rng.randrange(self.NODES) for k in keys}
+        directory = VisionEmbedder(n, value_bits=4, seed=9)
+        for key, node in placement.items():
+            directory.insert(key, node)
+        # A node drains: all its keys move elsewhere (dynamic updates).
+        drained = 3
+        moved = [k for k, node in placement.items() if node == drained]
+        for key in moved:
+            placement[key] = (drained + 1) % self.NODES
+            directory.update(key, placement[key])
+        for key, node in placement.items():
+            assert directory.lookup(key) == node
+        # The whole directory costs ~1.7 * 4 bits per key of fast space.
+        assert directory.space_bits / n == pytest.approx(6.8, rel=0.05)
+
+    def test_directory_much_smaller_than_key_storage(self):
+        n = 2000
+        directory = VisionEmbedder(n, value_bits=4, seed=2)
+        # Storing 48-bit keys + 4-bit values would need >= 52n bits.
+        assert directory.space_bits < 52 * n / 5
+
+
+class TestChurnWorkload:
+    """Sustained insert/delete/update churn at high occupancy."""
+
+    def test_long_churn_stays_consistent(self):
+        rng = random.Random(5)
+        table = VisionEmbedder(800, value_bits=8, seed=5)
+        model = {}
+        for step in range(6000):
+            action = rng.random()
+            if action < 0.5 and len(model) < 780:
+                key = rng.getrandbits(40)
+                if key not in model:
+                    value = rng.getrandbits(8)
+                    table.insert(key, value)
+                    model[key] = value
+            elif action < 0.75 and model:
+                key = rng.choice(list(model))
+                value = rng.getrandbits(8)
+                table.update(key, value)
+                model[key] = value
+            elif model:
+                key = rng.choice(list(model))
+                table.delete(key)
+                del model[key]
+        table.check_invariants()
+        assert len(table) == len(model)
+        for key, value in model.items():
+            assert table.lookup(key) == value
+
+
+class TestDatasetSweep:
+    """Every bundled dataset loads and round-trips through every table."""
+
+    @pytest.mark.parametrize("dataset_name", ["MACTable", "MachineLearning",
+                                              "DBLP"])
+    @pytest.mark.parametrize("table_name", ["vision", "othello", "bloomier"])
+    def test_round_trip(self, dataset_name, table_name):
+        dataset = load(dataset_name, scale=0.002 if dataset_name != "MACTable"
+                       else 0.2)
+        table = make_table(table_name, dataset.size, dataset.value_bits,
+                           seed=4)
+        if table_name == "bloomier":
+            table.insert_many(dataset.pairs())
+        else:
+            for key, value in dataset.pairs():
+                table.insert(key, value)
+        answers = table.lookup_batch(dataset.keys)
+        assert np.array_equal(answers, dataset.values)
+
+
+class TestQueryDistributions:
+    def test_zipf_and_uniform_queries_answer_identically(self):
+        dataset = mac_table(scale=0.5)
+        table = VisionEmbedder(dataset.size, 1, seed=6)
+        for key, value in dataset.pairs():
+            table.insert(key, value)
+        expected = dict(zip(dataset.keys.tolist(), dataset.values.tolist()))
+        for sampler in (uniform_queries, zipf_queries):
+            queries = sampler(dataset.keys, 5000, 3)
+            answers = table.lookup_batch(queries)
+            for key, answer in zip(queries.tolist(), answers.tolist()):
+                assert answer == expected[key]
+
+
+class TestLudoComposition:
+    """The paper's composition claim: VisionEmbedder as Ludo's locator."""
+
+    def test_ludo_with_vision_locator_round_trip(self):
+        rng = random.Random(7)
+        pairs = {}
+        while len(pairs) < 1500:
+            pairs[rng.getrandbits(48)] = rng.getrandbits(8)
+        table = Ludo(1500, value_bits=8, seed=7, locator="vision")
+        for key, value in pairs.items():
+            table.insert(key, value)
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+        othello_version = Ludo(1500, value_bits=8, seed=7, locator="othello")
+        assert table.space_bits < othello_version.space_bits
+
+
+class TestCapacityLimits:
+    def test_graceful_behaviour_at_theoretical_limit(self):
+        """At 1.7L the table fills to capacity; beyond 0.6 efficiency it
+        refuses with a clear error instead of thrashing."""
+        from repro.core.errors import SpaceExhausted
+
+        table = VisionEmbedder(1000, value_bits=2, seed=8)
+        rng = random.Random(8)
+        inserted = 0
+        try:
+            while True:
+                table.insert(rng.getrandbits(44), rng.getrandbits(2))
+                inserted += 1
+        except SpaceExhausted:
+            pass
+        # 0.6 * 1.7 = 1.02: the refusal lands just past nominal capacity.
+        assert inserted >= 1000
+        table.check_invariants()

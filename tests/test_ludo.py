@@ -1,0 +1,142 @@
+"""Ludo baseline: cuckoo buckets, slot seeds, pluggable locator."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.ludo import SLOTS_PER_BUCKET, Ludo
+from repro.core.errors import DuplicateKey, KeyNotFound
+
+
+def _pairs(n, value_bits, seed):
+    rng = random.Random(seed)
+    pairs = {}
+    while len(pairs) < n:
+        pairs[rng.getrandbits(48)] = rng.getrandbits(value_bits)
+    return pairs
+
+
+def _filled(n=500, value_bits=4, seed=2, **kwargs):
+    table = Ludo(n, value_bits, seed=seed, **kwargs)
+    pairs = _pairs(n, value_bits, seed)
+    for key, value in pairs.items():
+        table.insert(key, value)
+    return table, pairs
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        table, pairs = _filled()
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+        table.check_invariants()
+
+    def test_duplicate_rejected(self):
+        table, pairs = _filled(50)
+        with pytest.raises(DuplicateKey):
+            table.insert(next(iter(pairs)), 0)
+
+    def test_update_is_in_place(self):
+        table, pairs = _filled(300)
+        reconstructions_before = table.stats.reconstructions
+        for key in list(pairs)[:60]:
+            table.update(key, (pairs[key] + 1) % 16)
+        assert table.stats.reconstructions == reconstructions_before
+        table.check_invariants()
+        for key in list(pairs)[:60]:
+            assert table.lookup(key) == (pairs[key] + 1) % 16
+
+    def test_delete(self):
+        table, pairs = _filled(200)
+        victims = list(pairs)[:50]
+        for key in victims:
+            table.delete(key)
+        assert len(table) == 150
+        table.check_invariants()
+        with pytest.raises(KeyNotFound):
+            table.delete(victims[0])
+
+    def test_unknown_update_rejected(self):
+        table, _ = _filled(20)
+        with pytest.raises(KeyNotFound):
+            table.update("ghost", 1)
+
+
+class TestBucketMechanics:
+    def test_buckets_never_overflow(self):
+        table, _ = _filled(800)
+        assert all(
+            len(members) <= SLOTS_PER_BUCKET for members in table._members
+        )
+
+    def test_bucket_seeds_give_distinct_slots(self):
+        table, _ = _filled(800)
+        table.check_invariants()  # includes the per-bucket slot check
+
+    def test_keys_live_in_candidate_buckets(self):
+        table, pairs = _filled(300)
+        for key in pairs:
+            handle = key
+            home = table._home[handle]
+            assert home in table._candidates(handle)
+
+    def test_high_load_fill(self):
+        # 0.95 slot load must be reachable (the sizing default).
+        table, pairs = _filled(1000)
+        assert len(table) == 1000
+
+
+class TestSpace:
+    def test_space_formula(self):
+        table, _ = _filled(1000, value_bits=4)
+        expected = (3.76 + 1.05 * 4) * 1000
+        # Vision/othello locator overheads differ a little from the paper's
+        # constant; allow 15%.
+        assert table.space_bits == pytest.approx(expected, rel=0.15)
+
+    def test_vision_locator_is_smaller(self):
+        othello_table = Ludo(1000, 4, seed=1, locator="othello")
+        vision_table = Ludo(1000, 4, seed=1, locator="vision")
+        assert vision_table.space_bits < othello_table.space_bits
+
+    def test_unknown_locator_rejected(self):
+        with pytest.raises(ValueError):
+            Ludo(100, 4, locator="martian")
+
+
+class TestLocatorSwap:
+    def test_vision_locator_correctness(self):
+        table, pairs = _filled(500, seed=5, locator="vision")
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+        table.check_invariants()
+
+    def test_failure_events_include_locator(self):
+        table, _ = _filled(300, seed=7)
+        assert table.failure_events >= table.stats.reconstructions
+
+
+class TestBatchLookup:
+    def test_matches_scalar(self):
+        table, pairs = _filled(300)
+        keys = np.fromiter(pairs, dtype=np.uint64)
+        batch = table.lookup_batch(keys)
+        for key, value in zip(keys.tolist(), batch.tolist()):
+            assert value == table.lookup(key)
+
+    def test_batch_with_vision_locator(self):
+        table, pairs = _filled(300, seed=3, locator="vision")
+        keys = np.fromiter(pairs, dtype=np.uint64)
+        batch = table.lookup_batch(keys)
+        for key, value in zip(keys.tolist(), batch.tolist()):
+            assert value == pairs[key]
+
+
+class TestReconstruction:
+    def test_reconstruct_preserves_pairs(self):
+        table, pairs = _filled(400, seed=11)
+        table._reconstruct()
+        table.check_invariants()
+        for key, value in pairs.items():
+            assert table.lookup(key) == value

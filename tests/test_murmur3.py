@@ -1,0 +1,106 @@
+"""MurmurHash3 correctness: reference vectors, variants agreement, mixing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing.murmur3 import murmur3_32, murmur3_32_u64, murmur3_32_u64_batch
+
+
+class TestReferenceVectors:
+    """Published MurmurHash3 x86_32 test vectors."""
+
+    def test_empty_seed_zero(self):
+        assert murmur3_32(b"", 0) == 0
+
+    def test_empty_seed_one(self):
+        assert murmur3_32(b"", 1) == 0x514E28B7
+
+    def test_empty_seed_all_ones(self):
+        assert murmur3_32(b"", 0xFFFFFFFF) == 0x81F16F39
+
+    def test_test_string(self):
+        assert murmur3_32(b"test", 0) == 0xBA6BD213
+
+    def test_hello_world(self):
+        assert murmur3_32(b"Hello, world!", 0) == 0xC0363E43
+
+    def test_single_byte_tail(self):
+        # 1-byte input exercises the tail path alone.
+        assert murmur3_32(b"a", 0) == 0x3C2569B2
+
+
+class TestScalarProperties:
+    def test_output_is_32_bit(self):
+        for data in (b"", b"x", b"hello world", bytes(range(256))):
+            assert 0 <= murmur3_32(data, 7) < 1 << 32
+
+    def test_deterministic(self):
+        assert murmur3_32(b"abcdef", 5) == murmur3_32(b"abcdef", 5)
+
+    def test_seed_changes_output(self):
+        data = b"some key material"
+        outputs = {murmur3_32(data, seed) for seed in range(32)}
+        assert len(outputs) == 32
+
+    def test_tail_lengths_all_distinct(self):
+        # 0..3 tail bytes take different code paths; results must differ.
+        outputs = {murmur3_32(b"abcdefgh"[:n], 3) for n in range(9)}
+        assert len(outputs) == 9
+
+    @given(st.binary(max_size=64), st.integers(0, 0xFFFFFFFF))
+    def test_always_in_range(self, data, seed):
+        assert 0 <= murmur3_32(data, seed) < 1 << 32
+
+
+class TestU64Variant:
+    @given(st.integers(0, (1 << 64) - 1), st.integers(0, 0xFFFFFFFF))
+    def test_matches_bytes_encoding(self, key, seed):
+        expected = murmur3_32(key.to_bytes(8, "little"), seed)
+        assert murmur3_32_u64(key, seed) == expected
+
+    def test_zero_key(self):
+        assert murmur3_32_u64(0, 0) == murmur3_32(b"\x00" * 8, 0)
+
+
+class TestBatchVariant:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 1 << 63, size=500, dtype=np.uint64)
+        batch = murmur3_32_u64_batch(keys, seed=9)
+        for key, hashed in zip(keys.tolist(), batch.tolist()):
+            assert hashed == murmur3_32_u64(key, 9)
+
+    def test_empty_batch(self):
+        out = murmur3_32_u64_batch(np.array([], dtype=np.uint64), 3)
+        assert out.shape == (0,)
+
+    def test_extreme_keys(self):
+        keys = np.array([0, 1, (1 << 64) - 1, 1 << 32], dtype=np.uint64)
+        batch = murmur3_32_u64_batch(keys, 0)
+        for key, hashed in zip(keys.tolist(), batch.tolist()):
+            assert hashed == murmur3_32_u64(key, 0)
+
+    def test_output_dtype_and_range(self):
+        keys = np.arange(100, dtype=np.uint64)
+        out = murmur3_32_u64_batch(keys, 5)
+        assert out.dtype == np.uint64
+        assert int(out.max()) < 1 << 32
+
+
+class TestDistribution:
+    def test_avalanche_bucket_spread(self):
+        # Sequential keys must spread near-uniformly over buckets.
+        keys = np.arange(40_000, dtype=np.uint64)
+        buckets = murmur3_32_u64_batch(keys, 11) % np.uint64(64)
+        counts = np.bincount(buckets.astype(np.int64), minlength=64)
+        expected = len(keys) / 64
+        assert counts.min() > expected * 0.8
+        assert counts.max() < expected * 1.2
+
+    def test_bit_balance(self):
+        keys = np.arange(20_000, dtype=np.uint64)
+        hashes = murmur3_32_u64_batch(keys, 2)
+        for bit in range(32):
+            ones = int(((hashes >> np.uint64(bit)) & np.uint64(1)).sum())
+            assert 0.45 < ones / len(keys) < 0.55, f"bit {bit} is biased"

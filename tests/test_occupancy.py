@@ -1,0 +1,72 @@
+"""Load-dependent failure model: structure checks against theory + system."""
+
+import pytest
+
+from repro.analysis.occupancy import (
+    expected_failures_per_fill,
+    extinction_probability,
+    supercritical_fill_fraction,
+    walk_failure_probability,
+)
+from repro.analysis.poisson import solve_lambda_threshold
+
+
+class TestExtinction:
+    def test_certain_below_threshold(self):
+        lam_critical = solve_lambda_threshold()
+        for lam in (0.2, 1.0, lam_critical - 0.01):
+            assert extinction_probability(lam) == pytest.approx(1.0, abs=0.02)
+
+    def test_uncertain_above_threshold(self):
+        assert extinction_probability(1.8) < 0.9
+        assert extinction_probability(2.5) < 0.4
+
+    def test_monotone_decreasing_in_lambda(self):
+        values = [extinction_probability(lam / 10) for lam in range(17, 30)]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            extinction_probability(-1)
+
+
+class TestWalkFailure:
+    def test_zero_below_threshold(self):
+        assert walk_failure_probability(1.0, attempts=1) < 1e-6
+
+    def test_sharp_onset_above_threshold(self):
+        assert walk_failure_probability(1.76, attempts=1) > 0.01
+
+    def test_retries_reduce_geometrically(self):
+        one = walk_failure_probability(1.9, attempts=1)
+        four = walk_failure_probability(1.9, attempts=4)
+        assert four == pytest.approx(one ** 4, rel=1e-9)
+
+
+class TestFillModel:
+    def test_paper_budget_is_slightly_supercritical(self):
+        # The default 1.7L ends its fill 3% past the depth-1 threshold —
+        # the regime the retry feature exists for.
+        assert supercritical_fill_fraction(1.7) == pytest.approx(0.032,
+                                                                 abs=0.003)
+        assert supercritical_fill_fraction(1.76) == 0.0
+        assert supercritical_fill_fraction(2.0) == 0.0
+
+    def test_single_attempt_failures_are_conservative_bound(self):
+        """The model over-predicts measured single-attempt failures
+        (~0.1/fill at n=2048) but by a bounded factor, not orders upon
+        orders."""
+        predicted = expected_failures_per_fill(2048, attempts=1)
+        assert 0.1 < predicted < 50
+
+    def test_retries_drive_prediction_to_zero(self):
+        assert expected_failures_per_fill(2048, attempts=8) < 1e-6
+
+    def test_more_space_means_fewer_failures(self):
+        tight = expected_failures_per_fill(1024, space_factor=1.7, attempts=1)
+        loose = expected_failures_per_fill(1024, space_factor=1.8, attempts=1)
+        assert loose < tight
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_failures_per_fill(0)

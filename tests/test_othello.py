@@ -1,0 +1,147 @@
+"""Othello baseline: bipartite XOR forest, flips, cycle failures."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.othello import Othello
+from repro.core.errors import DuplicateKey, KeyNotFound
+
+
+def _pairs(n, value_bits, seed):
+    rng = random.Random(seed)
+    pairs = {}
+    while len(pairs) < n:
+        pairs[rng.getrandbits(48)] = rng.getrandbits(value_bits)
+    return pairs
+
+
+def _filled(n=500, value_bits=4, seed=2):
+    table = Othello(n, value_bits, seed=seed)
+    pairs = _pairs(n, value_bits, seed)
+    for key, value in pairs.items():
+        table.insert(key, value)
+    return table, pairs
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        table, pairs = _filled()
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+        table.check_invariants()
+
+    def test_duplicate_rejected(self):
+        table, pairs = _filled(50)
+        with pytest.raises(DuplicateKey):
+            table.insert(next(iter(pairs)), 0)
+
+    def test_update(self):
+        table, pairs = _filled(300)
+        for key in list(pairs)[:60]:
+            table.update(key, (pairs[key] + 1) % 16)
+        table.check_invariants()
+        for key in list(pairs)[:60]:
+            assert table.lookup(key) == (pairs[key] + 1) % 16
+
+    def test_update_unknown_rejected(self):
+        table, _ = _filled(20)
+        with pytest.raises(KeyNotFound):
+            table.update(b"ghost", 1)
+
+    def test_update_same_value_is_noop(self):
+        table, pairs = _filled(50)
+        key = next(iter(pairs))
+        table.update(key, pairs[key])
+        assert table.lookup(key) == pairs[key]
+
+    def test_delete(self):
+        table, pairs = _filled(200)
+        victims = list(pairs)[:50]
+        for key in victims:
+            table.delete(key)
+        assert len(table) == 150
+        table.check_invariants()
+        with pytest.raises(KeyNotFound):
+            table.delete(victims[0])
+
+    def test_delete_frees_topology(self):
+        # After deleting, reinserting different values must succeed (the
+        # deleted edges no longer constrain the graph).
+        table, pairs = _filled(200)
+        for key in pairs:
+            table.delete(key)
+        for key in pairs:
+            table.insert(key, 5)
+        assert all(table.lookup(k) == 5 for k in pairs)
+
+
+class TestSpace:
+    def test_default_sizing_is_2_33(self):
+        table = Othello(1000, 4, seed=1)
+        assert table.space_bits == pytest.approx(2.33 * 4 * 1000, rel=0.01)
+
+    def test_space_cost(self):
+        table, _ = _filled(1000)
+        assert 2.3 < table.space_cost < 2.4
+
+    def test_power_of_two_sizing(self):
+        table = Othello(1000, 4, seed=1, power_of_two=True)
+        assert table._ma == 2048  # next power of two above 1330
+        assert table._mb == 1024
+        # Still fully functional at the quantised geometry.
+        for key in range(500):
+            table.insert(key, key % 16)
+        table.check_invariants()
+
+    def test_power_of_two_costs_at_least_continuous(self):
+        rounded = Othello(1000, 4, seed=1, power_of_two=True)
+        continuous = Othello(1000, 4, seed=1)
+        assert rounded.space_bits >= continuous.space_bits
+
+
+class TestFailures:
+    def test_two_hash_failures_are_constant_rate(self):
+        """The paper's core criticism: failures per insertion don't vanish
+        as n grows (birthday paradox)."""
+        failures = 0
+        trials = 30
+        for trial in range(trials):
+            table = Othello(300, 4, seed=trial)
+            for key, value in _pairs(300, 4, trial + 1000).items():
+                table.insert(key, value)
+            failures += table.stats.reconstructions
+        # Expect a constant-order rate; with 30 trials at least a few.
+        assert failures >= 3
+
+    def test_reconstruction_restores_all_pairs(self):
+        table, pairs = _filled(400, seed=9)
+        before = table.seed
+        table._reconstruct()
+        assert table.seed > before
+        table.check_invariants()
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+
+
+class TestBatchLookup:
+    def test_matches_scalar(self):
+        table, pairs = _filled(300)
+        keys = np.fromiter(pairs, dtype=np.uint64)
+        batch = table.lookup_batch(keys)
+        for key, value in zip(keys.tolist(), batch.tolist()):
+            assert value == table.lookup(key)
+
+    def test_alien_keys_return_values(self):
+        table, _ = _filled(100)
+        aliens = np.arange(50, dtype=np.uint64)
+        out = table.lookup_batch(aliens)
+        assert all(0 <= int(v) < 16 for v in out)
+
+
+class TestBitPlaneStorage:
+    def test_value_bits_respected(self):
+        table = Othello(100, 10, seed=1)
+        table.insert(1, 1023)
+        assert table.lookup(1) == 1023

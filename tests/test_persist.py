@@ -1,0 +1,113 @@
+"""Persistence: save/load round-trips for the full embedder state."""
+
+import io
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import EmbedderConfig, VisionEmbedder
+from repro.core.persist import load_embedder, save_embedder
+
+
+def _filled(n=400, value_bits=8, seed=5, config=None):
+    table = VisionEmbedder(n, value_bits, seed=seed, config=config)
+    rng = random.Random(seed)
+    pairs = {}
+    while len(pairs) < n:
+        pairs[rng.getrandbits(48)] = rng.getrandbits(value_bits)
+    for key, value in pairs.items():
+        table.insert(key, value)
+    return table, pairs
+
+
+class TestRoundTrip:
+    def test_lookups_survive(self, tmp_path):
+        table, pairs = _filled()
+        path = tmp_path / "table.npz"
+        save_embedder(table, path)
+        loaded = load_embedder(path)
+        for key, value in pairs.items():
+            assert loaded.lookup(key) == value
+        loaded.check_invariants()
+
+    def test_fast_space_identical(self, tmp_path):
+        table, _ = _filled()
+        path = tmp_path / "table.npz"
+        save_embedder(table, path)
+        loaded = load_embedder(path)
+        assert loaded._table == table._table
+        keys = np.arange(5000, dtype=np.uint64)
+        assert np.array_equal(loaded.lookup_batch(keys),
+                              table.lookup_batch(keys))
+
+    def test_loaded_table_stays_dynamic(self, tmp_path):
+        table, pairs = _filled()
+        path = tmp_path / "table.npz"
+        save_embedder(table, path)
+        loaded = load_embedder(path)
+        loaded.insert("brand-new", 3)
+        assert loaded.lookup("brand-new") == 3
+        victim = next(iter(pairs))
+        loaded.update(victim, (pairs[victim] + 1) % 256)
+        assert loaded.lookup(victim) == (pairs[victim] + 1) % 256
+        loaded.delete(victim)
+        loaded.check_invariants()
+
+    def test_config_round_trips(self, tmp_path):
+        config = EmbedderConfig(space_factor=2.1, max_repair_steps=77,
+                                max_search_attempts=3,
+                                auto_reconstruct=False)
+        table, _ = _filled(n=100, config=config)
+        path = tmp_path / "table.npz"
+        save_embedder(table, path)
+        loaded = load_embedder(path)
+        assert loaded.config.space_factor == pytest.approx(2.1)
+        assert loaded.config.max_repair_steps == 77
+        assert loaded.config.max_search_attempts == 3
+        assert loaded.config.auto_reconstruct is False
+
+    def test_file_object_target(self):
+        table, pairs = _filled(n=50)
+        buffer = io.BytesIO()
+        save_embedder(table, buffer)
+        buffer.seek(0)
+        loaded = load_embedder(buffer)
+        for key, value in pairs.items():
+            assert loaded.lookup(key) == value
+
+    def test_reconstructed_table_round_trips(self, tmp_path):
+        # A table whose seed has advanced (post-reconstruction) must load
+        # with the advanced seed, not the original.
+        table, pairs = _filled(n=200)
+        table.reconstruct()
+        path = tmp_path / "table.npz"
+        save_embedder(table, path)
+        loaded = load_embedder(path)
+        assert loaded.seed == table.seed
+        for key, value in pairs.items():
+            assert loaded.lookup(key) == value
+
+    def test_empty_table(self, tmp_path):
+        table = VisionEmbedder(10, 4, seed=1)
+        path = tmp_path / "empty.npz"
+        save_embedder(table, path)
+        loaded = load_embedder(path)
+        assert len(loaded) == 0
+        loaded.insert(1, 2)
+        assert loaded.lookup(1) == 2
+
+
+class TestValidation:
+    def test_bad_version_rejected(self, tmp_path):
+        table, _ = _filled(n=20)
+        path = tmp_path / "table.npz"
+        save_embedder(table, path)
+        with np.load(path) as archive:
+            contents = {name: archive[name] for name in archive.files}
+        contents["meta"] = contents["meta"].copy()
+        contents["meta"][0] = 99
+        bad_path = tmp_path / "bad.npz"
+        np.savez(bad_path, **contents)
+        with pytest.raises(ValueError):
+            load_embedder(bad_path)

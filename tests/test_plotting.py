@@ -1,0 +1,90 @@
+"""Terminal charts: structure, scaling, selection."""
+
+import pytest
+
+from repro.bench.plotting import chart, sparkline
+from repro.bench.reporting import ExperimentResult
+
+
+def _result():
+    return ExperimentResult(
+        experiment="figX",
+        title="t",
+        columns=["sweep", "n", "algorithm", "Mops"],
+        rows=[
+            ("vs n", 100, "vision", 2.0),
+            ("vs n", 200, "vision", 4.0),
+            ("vs n", 100, "othello", 1.0),
+            ("vs n", 200, "othello", 2.0),
+            ("vs L", 100, "vision", 8.0),
+        ],
+    )
+
+
+class TestChart:
+    def test_bars_scale_to_maximum(self):
+        text = chart(_result(), x="n", y="Mops", series="algorithm",
+                     where={"sweep": "vs n"}, width=10)
+        lines = text.splitlines()
+        bars = {line.split()[0] + line.split(
+            "@")[-1].split()[0]: line.count("█") for line in lines if "█" in line}
+        # vision@n=200 (max 4.0) gets the full width; othello@n=100 a
+        # quarter of it.
+        assert max(bars.values()) == 10
+        assert min(bars.values()) >= 1
+
+    def test_where_filters_rows(self):
+        text = chart(_result(), x="n", y="Mops", where={"sweep": "vs L"})
+        assert text.count("█") > 0
+        assert "n=100" in text
+        assert "n=200" not in text
+
+    def test_series_grouping_blank_lines(self):
+        text = chart(_result(), x="n", y="Mops", series="algorithm",
+                     where={"sweep": "vs n"})
+        assert "" in text.splitlines()  # separator between series groups
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ValueError):
+            chart(_result(), x="nope", y="Mops")
+
+    def test_non_numeric_metric_rejected(self):
+        with pytest.raises(ValueError):
+            chart(_result(), x="n", y="algorithm")
+
+    def test_mixed_column_drops_string_rows(self):
+        mixed = ExperimentResult(
+            experiment="m", title="t", columns=["k", "v"],
+            rows=[("a", 1.0), ("b", "n/a"), ("c", 3.0)],
+        )
+        text = chart(mixed, x="k", y="v")
+        assert "k=a" in text and "k=c" in text
+        assert "k=b" not in text
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            chart(_result(), x="n", y="Mops", where={"sweep": "vs Z"})
+
+    def test_on_a_real_experiment(self):
+        from repro.bench.experiments import run_experiment
+
+        result = run_experiment("theory")
+        # The theory result has a numeric 'computed' column (its string
+        # rows — the formatted probabilities — drop out).
+        text = chart(result, x="quantity", y="computed", width=20)
+        assert "lambda'" in text
+        assert "█" in text
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 8
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,119 @@
+"""Hypothesis model-based testing: every table vs a plain dict.
+
+The central VO-table invariant — after any sequence of successful inserts,
+updates, and deletes, ``lookup(k)`` equals the model's value for every live
+key — is exercised with random operation sequences against each algorithm.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.errors import ReproError
+from repro.factory import make_table
+
+#: Algorithms cheap enough for hypothesis-scale operation sequences.
+NAMES = ("vision", "othello", "color", "ludo")
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete", "lookup"]),
+        st.integers(0, 39),      # small key space forces collisions
+        st.integers(0, 15),
+    ),
+    max_size=120,
+)
+
+
+def _run_model(name, operations, seed):
+    table = make_table(name, capacity=64, value_bits=4, seed=seed)
+    model = {}
+    for op, key, value in operations:
+        try:
+            if op == "insert":
+                if key not in model:
+                    table.insert(key, value)
+                    model[key] = value
+            elif op == "update":
+                if key in model:
+                    table.update(key, value)
+                    model[key] = value
+            elif op == "delete":
+                if key in model:
+                    table.delete(key)
+                    del model[key]
+            else:
+                if key in model:
+                    assert table.lookup(key) == model[key]
+        except ReproError:
+            # A table may legitimately give up (space); stop the sequence
+            # and verify what the model still agrees on below — except for
+            # tables whose failure recovery rebuilt state, where we simply
+            # accept the exception as a valid terminal outcome.
+            break
+    assert len(table) == len(model)
+    for key, value in model.items():
+        assert table.lookup(key) == value, (name, key)
+
+
+@pytest.mark.parametrize("name", NAMES)
+@settings(deadline=None, max_examples=40,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations=_ops, seed=st.integers(0, 1000))
+def test_random_operation_sequences(name, operations, seed):
+    _run_model(name, operations, seed)
+
+
+@settings(deadline=None, max_examples=25)
+@given(operations=_ops, seed=st.integers(0, 1000))
+def test_vision_invariants_hold_throughout(operations, seed):
+    """VisionEmbedder additionally exposes check_invariants(); run it after
+    every mutation."""
+    table = make_table("vision", capacity=64, value_bits=4, seed=seed)
+    model = {}
+    for op, key, value in operations:
+        try:
+            if op == "insert" and key not in model:
+                table.insert(key, value)
+                model[key] = value
+            elif op == "update" and key in model:
+                table.update(key, value)
+                model[key] = value
+            elif op == "delete" and key in model:
+                table.delete(key)
+                del model[key]
+        except ReproError:
+            break
+        table.check_invariants()
+    for key, value in model.items():
+        assert table.lookup(key) == value
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    st.dictionaries(st.integers(0, 1 << 40), st.integers(0, 255),
+                    min_size=1, max_size=80),
+    st.integers(0, 100),
+)
+def test_bloomier_bulk_matches_model(pairs, seed):
+    table = make_table("bloomier", capacity=len(pairs), value_bits=8,
+                       seed=seed)
+    table.insert_many(pairs.items())
+    for key, value in pairs.items():
+        assert table.lookup(key) == value
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    st.dictionaries(st.integers(0, 1 << 40), st.integers(0, 15),
+                    min_size=1, max_size=60),
+    st.integers(0, 50),
+)
+def test_reconstruction_is_lossless(pairs, seed):
+    """reconstruct() must preserve every pair under any content."""
+    table = make_table("vision", capacity=max(len(pairs), 4), value_bits=4,
+                       seed=seed)
+    for key, value in pairs.items():
+        table.insert(key, value)
+    table.reconstruct()
+    for key, value in pairs.items():
+        assert table.lookup(key) == value

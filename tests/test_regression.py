@@ -1,0 +1,111 @@
+"""Regression comparison of experiment results across runs."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.regression import (
+    Delta,
+    compare_documents,
+    compare_run,
+    load_baseline,
+    result_to_document,
+)
+from repro.bench.reporting import ExperimentResult
+
+
+def _result(rows, name="figX", columns=("algorithm", "Mops")):
+    return ExperimentResult(
+        experiment=name, title="t", columns=list(columns), rows=rows
+    )
+
+
+class TestCompareDocuments:
+    def _docs(self, old_rows, new_rows):
+        return (
+            result_to_document(_result(old_rows)),
+            result_to_document(_result(new_rows)),
+        )
+
+    def test_identical_runs_no_deltas(self):
+        old, new = self._docs([("vision", 1.0)], [("vision", 1.0)])
+        assert compare_documents(old, new) == []
+
+    def test_small_drift_within_tolerance(self):
+        old, new = self._docs([("vision", 1.0)], [("vision", 1.3)])
+        assert compare_documents(old, new, tolerance=0.5) == []
+
+    def test_large_drift_flagged(self):
+        old, new = self._docs([("vision", 1.0)], [("vision", 3.0)])
+        deltas = compare_documents(old, new, tolerance=0.5)
+        assert len(deltas) == 1
+        assert deltas[0].column == "Mops"
+        assert deltas[0].ratio == pytest.approx(3.0)
+        assert "x3.00" in deltas[0].render()
+
+    def test_rows_matched_by_labels_not_order(self):
+        old, new = self._docs(
+            [("vision", 1.0), ("othello", 2.0)],
+            [("othello", 2.0), ("vision", 1.0)],
+        )
+        assert compare_documents(old, new) == []
+
+    def test_new_rows_ignored(self):
+        old, new = self._docs([("vision", 1.0)],
+                              [("vision", 1.0), ("ludo", 9.0)])
+        assert compare_documents(old, new) == []
+
+    def test_schema_change_reported(self):
+        old = result_to_document(_result([("vision", 1.0)]))
+        new = result_to_document(
+            _result([("vision", 1.0, 2.0)],
+                    columns=("algorithm", "Mops", "extra"))
+        )
+        deltas = compare_documents(old, new)
+        assert deltas[0].row_label == "<schema>"
+
+    def test_zero_baseline(self):
+        old, new = self._docs([("vision", 0.0)], [("vision", 1.0)])
+        deltas = compare_documents(old, new)
+        assert deltas and deltas[0].ratio == float("inf")
+
+
+class TestCompareRun:
+    def test_missing_experiment_reported(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps([result_to_document(_result([]))]))
+        deltas, missing = compare_run(
+            str(path), [_result([], name="other")]
+        )
+        assert missing == ["other"]
+        assert deltas == []
+
+    def test_load_single_document(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(result_to_document(_result([]))))
+        assert "figX" in load_baseline(str(path))
+
+
+class TestCliCompare:
+    def test_no_regressions_exit_zero(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main(["table1", "--format", "json",
+                     "--output", str(base)]) == 0
+        capsys.readouterr()
+        assert main(["table1", "--compare", str(base)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        doc = result_to_document(
+            ExperimentResult(
+                experiment="theory", title="t",
+                columns=["quantity", "computed", "paper"],
+                rows=[["lambda' (E[X_min]=1)", 99.0, 1.709]],
+            )
+        )
+        base.write_text(json.dumps([doc]))
+        assert main(["theory", "--compare", str(base)]) == 1
+        out = capsys.readouterr().out
+        assert "cell(s) moved" in out

@@ -1,0 +1,56 @@
+"""Result rendering: text tables and experiment reports."""
+
+from repro.bench.reporting import ExperimentResult, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [("a", 1), ("long-name", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len({len(line.rstrip()) for line in lines}) >= 1
+        assert "long-name" in lines[3]
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(0.00012345,), (1234567.0,), (1.5,)])
+        assert "0.000123" in text
+        assert "1.23e+06" in text
+        assert "1.5" in text
+
+    def test_zero(self):
+        assert "0" in format_table(["x"], [(0.0,)])
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            experiment="figX",
+            title="A test figure",
+            columns=["n", "Mops"],
+            rows=[(10, 1.5), (20, 2.5)],
+            notes="shape only",
+            parameters={"scale": 1.0},
+        )
+
+    def test_render_contains_everything(self):
+        text = self._result().render()
+        assert "figX" in text
+        assert "A test figure" in text
+        assert "scale=1.0" in text
+        assert "shape only" in text
+        assert "Mops" in text
+
+    def test_column_accessor(self):
+        result = self._result()
+        assert result.column("n") == [10, 20]
+        assert result.column("Mops") == [1.5, 2.5]
+
+    def test_column_unknown_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            self._result().column("nope")

@@ -1,0 +1,49 @@
+"""Monte-Carlo validation of Theorem 1's model against the built system."""
+
+import pytest
+
+from repro.analysis.poisson import expected_min_load
+from repro.analysis.simulation import (
+    BranchingEstimate,
+    measure_branching_factor,
+    simulate_min_load,
+)
+
+
+class TestSimulatedMinLoad:
+    def test_matches_analytic_formula(self):
+        for lam in (0.5, 1.0, 1.709, 2.5):
+            simulated = simulate_min_load(lam, samples=200_000, seed=3)
+            analytic = expected_min_load(lam)
+            assert simulated == pytest.approx(analytic, rel=0.03)
+
+    def test_zero_lambda(self):
+        assert simulate_min_load(0.0, samples=1000) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_min_load(-1.0)
+
+    def test_threshold_bracketing(self):
+        """The simulated process crosses 1 inside the paper's bracket."""
+        assert simulate_min_load(1.60, samples=300_000, seed=5) < 1.0
+        assert simulate_min_load(1.85, samples=300_000, seed=5) > 1.0
+
+
+class TestRealTableBranching:
+    def test_real_table_matches_poisson_model(self):
+        """Theorem 1 assumes real bucket loads behave like Pois(3n/m);
+        measure on an actual assistant table."""
+        estimate = measure_branching_factor(n=3000, space_factor=1.9,
+                                            seed=2, samples=40_000)
+        assert isinstance(estimate, BranchingEstimate)
+        analytic = expected_min_load(estimate.lam)
+        assert estimate.expected_min_load == pytest.approx(analytic, rel=0.06)
+
+    def test_branching_grows_with_load(self):
+        loose = measure_branching_factor(n=1500, space_factor=2.6, seed=3,
+                                         samples=20_000)
+        tight = measure_branching_factor(n=1500, space_factor=1.8, seed=3,
+                                         samples=20_000)
+        assert tight.expected_min_load > loose.expected_min_load
+        assert tight.lam > loose.lam

@@ -1,0 +1,158 @@
+"""Stateful fuzzing: hypothesis rule machines drive tables like a client.
+
+Unlike the sequence-based property tests, a rule machine interleaves
+operations adaptively and shrinks whole interaction histories, which is
+how bugs in rollback paths and reconstruction bookkeeping get found.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.apps.guarded import GuardedTable
+from repro.core import EmbedderConfig, VisionEmbedder
+from repro.core.errors import ReproError
+
+_KEYS = st.integers(0, 59)
+_VALUES = st.integers(0, 15)
+
+
+class VisionEmbedderMachine(RuleBasedStateMachine):
+    """Drive a VisionEmbedder against a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.model = {}
+        self.dead = False
+
+    @initialize(seed=st.integers(0, 100), packed=st.booleans())
+    def build(self, seed, packed):
+        config = EmbedderConfig(reconstruct_efficiency_limit=1.0,
+                                max_reconstruct_attempts=6)
+        self.table = VisionEmbedder(96, 4, config=config, seed=seed,
+                                    packed=packed)
+
+    @precondition(lambda self: not self.dead)
+    @rule(key=_KEYS, value=_VALUES)
+    def insert(self, key, value):
+        if key in self.model:
+            return
+        try:
+            self.table.insert(key, value)
+            self.model[key] = value
+        except ReproError:
+            self.dead = True
+
+    @precondition(lambda self: not self.dead)
+    @rule(key=_KEYS, value=_VALUES)
+    def update(self, key, value):
+        if key not in self.model:
+            return
+        try:
+            self.table.update(key, value)
+            self.model[key] = value
+        except ReproError:
+            self.dead = True
+
+    @precondition(lambda self: not self.dead)
+    @rule(key=_KEYS)
+    def delete(self, key):
+        if key not in self.model:
+            return
+        self.table.delete(key)
+        del self.model[key]
+
+    @precondition(lambda self: not self.dead)
+    @rule()
+    def reconstruct(self):
+        try:
+            self.table.reconstruct()
+        except ReproError:
+            self.dead = True
+
+    @precondition(lambda self: not self.dead)
+    @rule()
+    def reconstruct_static(self):
+        try:
+            self.table.reconstruct(method="static")
+        except ReproError:
+            self.dead = True
+
+    @invariant()
+    def model_agreement(self):
+        if self.dead:
+            return
+        assert len(self.table) == len(self.model)
+        for key, value in self.model.items():
+            assert self.table.lookup(key) == value
+
+    @invariant()
+    def structural_invariants(self):
+        if self.dead:
+            return
+        self.table.check_invariants()
+
+
+VisionEmbedderMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+TestVisionEmbedderStateful = VisionEmbedderMachine.TestCase
+
+
+class GuardedTableMachine(RuleBasedStateMachine):
+    """Drive the Bloom-guarded table; guard semantics included."""
+
+    def __init__(self):
+        super().__init__()
+        self.model = {}
+        self.ever_inserted = set()
+
+    @initialize(seed=st.integers(0, 100))
+    def build(self, seed):
+        self.table = GuardedTable(capacity=128, value_bits=4, seed=seed)
+
+    @rule(key=_KEYS, value=_VALUES)
+    def put(self, key, value):
+        if key in self.model:
+            self.table.update(key, value)
+        else:
+            self.table.insert(key, value)
+            self.ever_inserted.add(key)
+        self.model[key] = value
+
+    @rule(key=_KEYS)
+    def delete(self, key):
+        if key not in self.model:
+            return
+        self.table.delete(key)
+        del self.model[key]
+
+    @rule()
+    def compact(self):
+        self.table.compact()
+
+    @invariant()
+    def members_exact(self):
+        for key, value in self.model.items():
+            assert self.table.lookup(key) == value
+
+    @invariant()
+    def never_inserted_keys_rejected(self):
+        # A key never added cannot have guard bits of its own; it may still
+        # collide into a false positive, so only check a key far outside
+        # the machine's key space with a fresh-per-state offset.
+        probe = 10_000 + len(self.ever_inserted)
+        result = self.table.lookup(probe)
+        assert result is None or isinstance(result, int)
+
+
+GuardedTableMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)
+TestGuardedTableStateful = GuardedTableMachine.TestCase

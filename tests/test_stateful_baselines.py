@@ -1,0 +1,110 @@
+"""Stateful fuzzing of the baseline tables against a dict model."""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.baselines import ColoringEmbedder, CuckooKeyValueTable, Ludo, Othello
+from repro.core.errors import ReproError
+
+_KEYS = st.integers(0, 59)
+_VALUES = st.integers(0, 15)
+
+
+class _BaselineMachine(RuleBasedStateMachine):
+    """Shared machine body; subclasses pick the table class."""
+
+    table_class = None
+
+    def __init__(self):
+        super().__init__()
+        self.model = {}
+        self.dead = False
+
+    @initialize(seed=st.integers(0, 100))
+    def build(self, seed):
+        self.table = self.table_class(96, 4, seed=seed)
+
+    @precondition(lambda self: not self.dead)
+    @rule(key=_KEYS, value=_VALUES)
+    def insert(self, key, value):
+        if key in self.model:
+            return
+        try:
+            self.table.insert(key, value)
+            self.model[key] = value
+        except ReproError:
+            self.dead = True
+
+    @precondition(lambda self: not self.dead)
+    @rule(key=_KEYS, value=_VALUES)
+    def update(self, key, value):
+        if key not in self.model:
+            return
+        try:
+            self.table.update(key, value)
+            self.model[key] = value
+        except ReproError:
+            self.dead = True
+
+    @precondition(lambda self: not self.dead)
+    @rule(key=_KEYS)
+    def delete(self, key):
+        if key not in self.model:
+            return
+        self.table.delete(key)
+        del self.model[key]
+
+    @invariant()
+    def model_agreement(self):
+        if self.dead:
+            return
+        assert len(self.table) == len(self.model)
+        for key, value in self.model.items():
+            assert self.table.lookup(key) == value
+
+    @invariant()
+    def structural(self):
+        if self.dead:
+            return
+        self.table.check_invariants()
+
+
+class OthelloMachine(_BaselineMachine):
+    table_class = Othello
+
+
+class ColorMachine(_BaselineMachine):
+    table_class = ColoringEmbedder
+
+
+class LudoMachine(_BaselineMachine):
+    table_class = Ludo
+
+
+class CuckooMachine(_BaselineMachine):
+    table_class = CuckooKeyValueTable
+
+    @invariant()
+    def absence_detected(self):
+        if self.dead:
+            return
+        # Key-stored tables answer None for keys outside the model.
+        for probe in (1_000_000, 2_000_000):
+            assert self.table.lookup(probe) is None
+
+
+_SETTINGS = settings(max_examples=15, stateful_step_count=30, deadline=None)
+for machine in (OthelloMachine, ColorMachine, LudoMachine, CuckooMachine):
+    machine.TestCase.settings = _SETTINGS
+
+TestOthelloStateful = OthelloMachine.TestCase
+TestColorStateful = ColorMachine.TestCase
+TestLudoStateful = LudoMachine.TestCase
+TestCuckooStateful = CuckooMachine.TestCase

@@ -1,0 +1,166 @@
+"""Static (peeling) construction: bulk loads and static reconstruction."""
+
+import random
+
+import pytest
+
+from repro.core import EmbedderConfig, VisionEmbedder
+from repro.core.errors import DuplicateKey, UpdateFailure
+from repro.core.static_build import peel_order
+
+
+def _pairs(n, value_bits, seed):
+    rng = random.Random(seed)
+    pairs = {}
+    while len(pairs) < n:
+        pairs[rng.getrandbits(48)] = rng.getrandbits(value_bits)
+    return pairs
+
+
+class TestPeelOrder:
+    def test_simple_chain_peels(self):
+        key_cells = {
+            1: ((0, 0), (1, 0), (2, 0)),
+            2: ((0, 0), (1, 1), (2, 1)),
+        }
+        order = peel_order(key_cells)
+        assert order is not None
+        assert {key for key, _ in order} == {1, 2}
+        # Each key's recorded cell is private at peel time.
+        for key, cell in order:
+            assert cell in key_cells[key]
+
+    def test_two_core_stalls(self):
+        # Two keys sharing all three cells: no singleton cell ever appears.
+        key_cells = {
+            1: ((0, 0), (1, 0), (2, 0)),
+            2: ((0, 0), (1, 0), (2, 0)),
+        }
+        assert peel_order(key_cells) is None
+
+    def test_empty_input(self):
+        assert peel_order({}) == []
+
+
+class TestBulkLoad:
+    def test_matches_dynamic_result_semantics(self):
+        pairs = _pairs(3000, 8, 1)
+        table = VisionEmbedder.from_pairs(pairs.items(), value_bits=8,
+                                          seed=4, static=True)
+        table.check_invariants()
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+
+    def test_faster_than_dynamic(self):
+        import time
+
+        pairs = list(_pairs(4000, 8, 2).items())
+        started = time.perf_counter()
+        VisionEmbedder.from_pairs(pairs, value_bits=8, seed=4, static=True)
+        static_time = time.perf_counter() - started
+        started = time.perf_counter()
+        VisionEmbedder.from_pairs(pairs, value_bits=8, seed=4)
+        dynamic_time = time.perf_counter() - started
+        assert static_time < dynamic_time
+
+    def test_incremental_after_bulk_load(self):
+        pairs = _pairs(500, 4, 3)
+        table = VisionEmbedder.from_pairs(pairs.items(), value_bits=4,
+                                          seed=2, static=True)
+        table.insert("extra", 9)
+        assert table.lookup("extra") == 9
+        victim = next(iter(pairs))
+        table.update(victim, (pairs[victim] + 1) % 16)
+        table.delete(victim)
+        table.check_invariants()
+
+    def test_bulk_load_onto_existing_pairs(self):
+        table = VisionEmbedder(1000, 4, seed=1)
+        table.insert("old", 3)
+        table.bulk_load([("new-a", 1), ("new-b", 2)])
+        assert table.lookup("old") == 3
+        assert table.lookup("new-a") == 1
+        assert table.lookup("new-b") == 2
+        assert len(table) == 3
+
+    def test_duplicate_rejected(self):
+        table = VisionEmbedder(100, 4, seed=1)
+        table.insert("x", 1)
+        with pytest.raises(DuplicateKey):
+            table.bulk_load([("x", 2)])
+        with pytest.raises(DuplicateKey):
+            table.bulk_load([("y", 1), ("y", 2)])
+
+    def test_value_range_validated(self):
+        table = VisionEmbedder(100, 4, seed=1)
+        with pytest.raises(ValueError):
+            table.bulk_load([("x", 16)])
+
+    def test_peel_stall_reseeds(self):
+        # Width-1 geometry with two conflicting keys: every seed stalls
+        # (all keys share all cells), so bulk_load must exhaust retries.
+        from repro.core.errors import ReconstructionFailed
+
+        config = EmbedderConfig(max_reconstruct_attempts=3)
+        table = VisionEmbedder(1, 4, config=config, seed=1)
+        with pytest.raises(ReconstructionFailed):
+            table.bulk_load([("a", 1), ("b", 2)])
+        assert table.stats.reconstructions == 3
+
+
+class TestStaticReconstruct:
+    def test_static_reconstruct_preserves_pairs(self):
+        pairs = _pairs(1000, 8, 5)
+        table = VisionEmbedder.from_pairs(pairs.items(), value_bits=8, seed=3)
+        old_seed = table.seed
+        table.reconstruct(method="static")
+        assert table.seed > old_seed
+        table.check_invariants()
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+
+    def test_invalid_method_rejected(self):
+        table = VisionEmbedder(10, 4, seed=1)
+        with pytest.raises(ValueError):
+            table.reconstruct(method="magic")
+
+    def test_static_reconstruct_is_faster(self):
+        import time
+
+        pairs = _pairs(4000, 8, 6)
+        table = VisionEmbedder.from_pairs(pairs.items(), value_bits=8,
+                                          seed=3, static=True)
+        started = time.perf_counter()
+        table.reconstruct(method="static")
+        static_time = time.perf_counter() - started
+        started = time.perf_counter()
+        table.reconstruct(method="dynamic")
+        dynamic_time = time.perf_counter() - started
+        assert static_time < dynamic_time
+
+
+class TestConcurrentAndReplicatedVariants:
+    def test_concurrent_bulk_load(self):
+        from repro.core import ConcurrentVisionEmbedder
+
+        pairs = _pairs(500, 4, 7)
+        table = ConcurrentVisionEmbedder(500, 4, seed=2)
+        table.bulk_load(pairs.items())
+        table.check_invariants()
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+
+    def test_publishing_bulk_load_sends_snapshot(self):
+        from repro.core.replication import (
+            DataPlaneReplica,
+            PublishingVisionEmbedder,
+        )
+
+        pairs = _pairs(300, 4, 8)
+        publisher = PublishingVisionEmbedder(300, 4, seed=2)
+        replica = DataPlaneReplica()
+        publisher.subscribe(replica.apply)
+        publisher.bulk_load(pairs.items())
+        assert replica.state_equals(publisher)
+        for key, value in pairs.items():
+            assert replica.lookup(key) == value

@@ -1,0 +1,145 @@
+"""Cross-algorithm contract: every table honours ValueOnlyTable semantics."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DuplicateKey, KeyNotFound
+from repro.factory import TABLE_NAMES, make_table
+from repro.table import ValueOnlyTable
+
+ALL_NAMES = TABLE_NAMES + ("vision-mt",)
+
+
+def _pairs(n, value_bits, seed):
+    rng = random.Random(seed)
+    pairs = {}
+    while len(pairs) < n:
+        pairs[rng.getrandbits(48)] = rng.getrandbits(value_bits)
+    return pairs
+
+
+@pytest.fixture(params=ALL_NAMES)
+def table_name(request):
+    return request.param
+
+
+def _fill(name, n=200, value_bits=4, seed=3):
+    table = make_table(name, n, value_bits, seed=seed)
+    pairs = _pairs(n, value_bits, seed)
+    if name == "bloomier":
+        table.insert_many(pairs.items())
+    else:
+        for key, value in pairs.items():
+            table.insert(key, value)
+    return table, pairs
+
+
+class TestContract:
+    def test_is_value_only_table(self, table_name):
+        table = make_table(table_name, 10, 4)
+        assert isinstance(table, ValueOnlyTable)
+        assert table.value_bits == 4
+
+    def test_lookup_guarantee(self, table_name):
+        table, pairs = _fill(table_name)
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+
+    def test_alien_key_never_raises(self, table_name):
+        table, _ = _fill(table_name)
+        for alien in ("ghost", b"ghost", 999_999_999_999_999):
+            assert 0 <= table.lookup(alien) < 16
+
+    def test_duplicate_insert_raises(self, table_name):
+        table, pairs = _fill(table_name, n=50)
+        with pytest.raises(DuplicateKey):
+            table.insert(next(iter(pairs)), 0)
+
+    def test_update_then_lookup(self, table_name):
+        table, pairs = _fill(table_name)
+        for key in list(pairs)[:20]:
+            table.update(key, (pairs[key] + 7) % 16)
+        for key in list(pairs)[:20]:
+            assert table.lookup(key) == (pairs[key] + 7) % 16
+
+    def test_update_missing_raises(self, table_name):
+        table, _ = _fill(table_name, n=30)
+        with pytest.raises(KeyNotFound):
+            table.update("never", 1)
+
+    def test_delete_then_len(self, table_name):
+        table, pairs = _fill(table_name)
+        for key in list(pairs)[:30]:
+            table.delete(key)
+        assert len(table) == len(pairs) - 30
+
+    def test_delete_missing_raises(self, table_name):
+        table, _ = _fill(table_name, n=30)
+        with pytest.raises(KeyNotFound):
+            table.delete("never")
+
+    def test_put_upserts(self, table_name):
+        table, _ = _fill(table_name, n=30)
+        table.put("fresh", 3)
+        assert table.lookup("fresh") == 3
+        table.put("fresh", 9)
+        assert table.lookup("fresh") == 9
+
+    def test_contains(self, table_name):
+        table, pairs = _fill(table_name, n=30)
+        assert next(iter(pairs)) in table
+        assert "nope" not in table
+
+    def test_lookup_batch_matches_scalar(self, table_name):
+        table, pairs = _fill(table_name)
+        keys = np.fromiter(pairs, dtype=np.uint64)
+        batch = table.lookup_batch(keys)
+        assert batch.shape == keys.shape
+        for key, value in zip(keys.tolist(), batch.tolist()):
+            assert value == pairs[key]
+
+    def test_value_out_of_range_raises(self, table_name):
+        table = make_table(table_name, 20, 4)
+        with pytest.raises(ValueError):
+            table.insert(1, 16)
+
+    def test_space_accounting_positive(self, table_name):
+        table, _ = _fill(table_name)
+        assert table.space_bits > 0
+        assert table.space_cost > 1.0
+        assert table.bits_per_key > 0
+
+    def test_stats_exposed(self, table_name):
+        table, _ = _fill(table_name)
+        assert table.stats.updates >= 0
+        assert table.failure_events >= 0
+
+    def test_delete_then_reinsert_with_new_value(self, table_name):
+        table, pairs = _fill(table_name)
+        key = next(iter(pairs))
+        table.delete(key)
+        table.insert(key, 1)
+        assert table.lookup(key) == 1
+
+
+class TestSpaceOrdering:
+    def test_paper_space_ordering_at_L4(self):
+        """Fig 3 / Table I: bloomier < vision < color <= othello, at L=4."""
+        costs = {}
+        for name in ("vision", "othello", "color", "bloomier"):
+            table, _ = _fill(name, n=1000, value_bits=4, seed=5)
+            costs[name] = table.space_cost
+        assert costs["bloomier"] < costs["vision"]
+        assert costs["vision"] < costs["color"]
+        assert costs["color"] <= costs["othello"]
+
+    def test_vision_saves_half_the_redundancy(self):
+        """Headline claim: 2.2L -> 1.7L cuts the redundancy beyond L by
+        half (0.7L vs 1.2L of overhead)."""
+        vision, _ = _fill("vision", n=1000, value_bits=1, seed=6)
+        color, _ = _fill("color", n=1000, value_bits=1, seed=6)
+        vision_overhead = vision.space_cost - 1.0
+        color_overhead = color.space_cost - 1.0
+        assert vision_overhead < 0.65 * color_overhead

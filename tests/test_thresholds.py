@@ -1,0 +1,61 @@
+"""Hypergraph space thresholds, measured by the repository's own peeler."""
+
+import pytest
+
+from repro.analysis.thresholds import (
+    empirical_peel_threshold,
+    empirical_xorsat_threshold,
+    peel_success,
+    space_landscape,
+    two_core_balance,
+)
+
+
+class TestPeelThreshold:
+    def test_succeeds_well_above(self):
+        assert peel_success(1.35, num_cells=30_000, seed=1)
+
+    def test_fails_well_below(self):
+        assert not peel_success(1.10, num_cells=30_000, seed=1)
+
+    def test_threshold_near_asymptote(self):
+        measured = empirical_peel_threshold(num_cells=36_000, seed=2, steps=7)
+        # Asymptote 1.222; finite-size drift allowed.
+        assert measured == pytest.approx(1.222, abs=0.04)
+
+
+class TestXorsatThreshold:
+    def test_core_overdetermined_below(self):
+        assert two_core_balance(1.03, num_cells=30_000, seed=3) > 0
+
+    def test_core_underdetermined_above(self):
+        assert two_core_balance(1.15, num_cells=30_000, seed=3) < 0
+
+    def test_threshold_near_asymptote(self):
+        measured = empirical_xorsat_threshold(num_cells=36_000, seed=4,
+                                              steps=7)
+        assert measured == pytest.approx(1.089, abs=0.03)
+
+
+class TestLandscape:
+    def test_ladder_is_ordered(self):
+        rows = space_landscape(num_cells=18_000, seed=5)
+        ratios = [ratio for _name, ratio, _prov in rows]
+        assert ratios == sorted(ratios)
+
+    def test_contains_the_papers_constants(self):
+        rows = {name: ratio for name, ratio, _ in
+                space_landscape(num_cells=18_000, seed=6)}
+        assert rows["vision measured minimum"] == 1.58
+        assert rows["depth-1 vision convergence"] == pytest.approx(1.756,
+                                                                   abs=0.01)
+        assert rows["Othello as shipped"] == 2.33
+
+    def test_vision_sits_in_the_open_gap(self):
+        """The paper's contribution located: between the peel bound and
+        the depth-1 bound."""
+        rows = {name: ratio for name, ratio, _ in
+                space_landscape(num_cells=18_000, seed=7)}
+        assert (rows["peelability / Bloomier"]
+                < rows["vision measured minimum"]
+                < rows["depth-1 vision convergence"])

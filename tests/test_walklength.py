@@ -1,0 +1,93 @@
+"""Walk-length (total progeny) model vs theory and the real system."""
+
+import pytest
+
+from repro.analysis.poisson import expected_min_load
+from repro.analysis.walklength import (
+    expected_walk_length,
+    total_progeny_pmf,
+    walk_exceeds_budget_probability,
+)
+
+
+class TestTotalProgeny:
+    def test_pmf_sums_to_one_subcritical(self):
+        pmf = total_progeny_pmf(0.8, max_steps=80)
+        assert sum(pmf) == pytest.approx(1.0, abs=1e-6)
+
+    def test_pmf_leaks_mass_supercritical(self):
+        pmf = total_progeny_pmf(2.2, max_steps=80)
+        assert sum(pmf) < 0.8  # survival probability escapes the budget
+
+    def test_t_equals_one_is_leaf_probability(self):
+        # A 1-step walk means the chosen cell had no other keys: P(X_min=0)
+        # = 1 − P(both candidate buckets are non-empty).
+        import math
+
+        lam = 1.3
+        pmf = total_progeny_pmf(lam, max_steps=10)
+        p_min_zero = 1 - (1 - math.exp(-lam)) ** 2
+        assert pmf[1] == pytest.approx(p_min_zero, abs=1e-9)
+
+    def test_truncated_mean_matches_closed_form(self):
+        lam = 1.0
+        pmf = total_progeny_pmf(lam, max_steps=120)
+        mean = sum(t * p for t, p in enumerate(pmf))
+        assert mean == pytest.approx(expected_walk_length(lam), rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            total_progeny_pmf(-1)
+        with pytest.raises(ValueError):
+            total_progeny_pmf(1.0, max_steps=0)
+
+
+class TestBudgetExceedance:
+    def test_negligible_at_low_load(self):
+        assert walk_exceeds_budget_probability(0.8, budget=50) < 1e-9
+
+    def test_material_near_threshold(self):
+        assert walk_exceeds_budget_probability(1.709, budget=50) > 0.05
+
+    def test_monotone_in_budget(self):
+        p50 = walk_exceeds_budget_probability(1.6, budget=50)
+        p150 = walk_exceeds_budget_probability(1.6, budget=150, max_steps=150)
+        assert p150 < p50
+
+
+class TestExpectedLength:
+    def test_closed_form(self):
+        lam = 1.2
+        assert expected_walk_length(lam) == pytest.approx(
+            1.0 / (1.0 - expected_min_load(lam))
+        )
+
+    def test_infinite_at_supercritical(self):
+        assert expected_walk_length(1.8) == float("inf")
+
+
+class TestAgainstRealSystem:
+    def test_measured_steps_match_model(self):
+        """Fill a real embedder to a fixed subcritical load and compare the
+        mean repair steps per op with E[T] integrated over the fill."""
+        from repro.bench.workloads import fill_table, make_pairs
+        from repro.factory import make_table
+
+        n = 3000
+        factor = 2.2  # end-of-fill lambda = 3/2.2 = 1.36, safely subcritical
+        # L=8 so v_delta = 0 inserts (free, zero steps) are negligible and
+        # the measured mean is conditioned the way the model assumes.
+        keys, values = make_pairs(n, 8, 17)
+        table = make_table("vision", n, 8, seed=4, space_factor=factor)
+        fill_table(table, keys, values)
+        measured_mean = table.stats.repair_steps / table.stats.updates
+
+        # Model: average E[T] over the fill's lambda trajectory.
+        samples = 60
+        total = 0.0
+        for i in range(samples):
+            lam = 3.0 * ((i + 0.5) / samples) * n / (factor * n)
+            total += expected_walk_length(lam)
+        predicted_mean = total / samples
+        # First-order model vs a depth-3 strategy: same ballpark.
+        assert measured_mean == pytest.approx(predicted_mean, rel=0.5)

@@ -1,0 +1,117 @@
+"""YCSB workload suite: specs, traces, execution, driver."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import fill_table, make_pairs
+from repro.bench.ycsb import (
+    WORKLOADS,
+    WorkloadSpec,
+    generate_operations,
+    run_workload,
+)
+from repro.factory import make_table
+
+
+class TestSpecs:
+    def test_core_workloads_present(self):
+        assert set(WORKLOADS) == {"A", "B", "C", "D", "F"}
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("X", read_fraction=0.5, update_fraction=0.1,
+                         insert_fraction=0.0)
+
+    def test_d_uses_latest_distribution(self):
+        assert WORKLOADS["D"].distribution == "latest"
+
+
+class TestTraceGeneration:
+    def _keys(self, n=500, seed=1):
+        keys, _values = make_pairs(n, 8, seed)
+        return keys
+
+    def test_mix_matches_spec(self):
+        keys = self._keys()
+        ops = generate_operations(WORKLOADS["B"], keys, 10_000, seed=2)
+        reads = sum(1 for op, _, _ in ops if op == "read")
+        updates = sum(1 for op, _, _ in ops if op == "update")
+        assert reads / len(ops) == pytest.approx(0.95, abs=0.02)
+        assert updates / len(ops) == pytest.approx(0.05, abs=0.02)
+
+    def test_c_is_read_only(self):
+        keys = self._keys()
+        ops = generate_operations(WORKLOADS["C"], keys, 2000, seed=3)
+        assert all(op == "read" for op, _, _ in ops)
+
+    def test_inserts_use_fresh_keys(self):
+        keys = self._keys()
+        ops = generate_operations(WORKLOADS["D"], keys, 5000, seed=4)
+        existing = set(keys.tolist())
+        inserted = [key for op, key, _ in ops if op == "insert"]
+        assert inserted
+        assert not (set(inserted) & existing)
+        assert len(set(inserted)) == len(inserted)  # no duplicate inserts
+
+    def test_zipfian_skew(self):
+        keys = self._keys(n=1000)
+        ops = generate_operations(WORKLOADS["C"], keys, 20_000, seed=5)
+        targets = [key for _, key, _ in ops]
+        _unique, counts = np.unique(targets, return_counts=True)
+        top_share = np.sort(counts)[::-1][:10].sum() / len(targets)
+        assert top_share > 0.15
+
+    def test_latest_skews_to_recent(self):
+        keys = self._keys(n=1000)
+        ops = generate_operations(WORKLOADS["D"], keys, 20_000, seed=6)
+        recent = set(keys[-100:].tolist())
+        reads = [key for op, key, _ in ops if op == "read"]
+        recent_share = sum(1 for key in reads if key in recent) / len(reads)
+        assert recent_share > 0.3  # 10% of keys draw >30% of traffic
+
+    def test_rmw_workload(self):
+        keys = self._keys()
+        ops = generate_operations(WORKLOADS["F"], keys, 2000, seed=7)
+        kinds = {op for op, _, _ in ops}
+        assert kinds <= {"read", "rmw"}
+        assert "rmw" in kinds
+
+    def test_unknown_distribution(self):
+        spec = WorkloadSpec("Z", read_fraction=1.0, update_fraction=0.0,
+                            insert_fraction=0.0, distribution="uniformish")
+        with pytest.raises(ValueError):
+            generate_operations(spec, self._keys(), 10, seed=1)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", ["vision", "othello", "ludo"])
+    def test_all_workloads_run_clean(self, name):
+        keys, values = make_pairs(400, 8, 9)
+        for workload_name, spec in WORKLOADS.items():
+            table = make_table(name, 1000, 8, seed=3)
+            fill_table(table, keys, values)
+            ops = generate_operations(spec, keys, 1500, seed=11)
+            result = run_workload(table, ops, workload_name)
+            assert result.operations == 1500
+            assert result.reads + result.writes >= 1500
+            assert result.mops > 0
+
+    def test_rmw_writes_depend_on_reads(self):
+        keys, values = make_pairs(200, 8, 10)
+        table = make_table("vision", 400, 8, seed=5)
+        fill_table(table, keys, values)
+        ops = generate_operations(WORKLOADS["F"], keys, 500, seed=12)
+        result = run_workload(table, ops, "F")
+        table.check_invariants()
+        assert result.reads == 500  # every op reads
+        assert result.writes == sum(1 for op, _, _ in ops if op == "rmw")
+
+
+class TestDriver:
+    def test_ycsb_experiment(self):
+        from repro.bench.experiments import run_experiment
+
+        result = run_experiment("ycsb", scale=0.1)
+        workloads = set(result.column("workload"))
+        assert workloads == {"A", "B", "C", "D", "F"}
+        assert all(m > 0 for m in result.column("Mops"))
