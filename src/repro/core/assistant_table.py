@@ -5,11 +5,22 @@ hashed there and the counter ``C_j[t] = |S_j[t]|``; it also keeps the full
 key → value mapping and each key's three cells, so updates never rehash.
 Lookups never touch this structure — it exists purely to support dynamic
 updates, deletion, and reconstruction.
+
+Two facilities exist for the batched write pipeline:
+
+- :meth:`AssistantTable.add_batch` bulk-registers many pairs in one call
+  (used by the static construction and by :meth:`VisionEmbedder.insert_batch`
+  after the hashes have been computed in one vectorised pass).
+- Per-bucket **generation counters**: every ``add``/``remove`` bumps the
+  counter of each touched bucket, and ``clear`` bumps a global epoch.
+  :class:`~repro.core.update.VisionStrategy` keys its GetCost cost-cache on
+  these, so repair walks over stable regions skip recomputing identical
+  DFS subtrees.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 Cell = Tuple[int, int]
 
@@ -26,6 +37,20 @@ class AssistantTable:
         self._cell_keys = [
             [set() for _ in range(width)] for _ in range(num_arrays)
         ]
+        # Flat alias of the same set objects, indexed ``j * width + t``.
+        # The cost-cache hot path uses this (and the flat generation list
+        # below) to avoid nested indexing; the sets are shared, never
+        # replaced, so both views always agree.
+        self._buckets = [
+            bucket for per_array in self._cell_keys for bucket in per_array
+        ]
+        # Per-bucket mutation counters (cost-cache invalidation), indexed
+        # ``j * width + t`` like ``_buckets``.
+        self._gens = [0] * (num_arrays * width)
+        # Bumped whenever the whole table is cleared; per-bucket counters
+        # restart at zero afterwards, so cached readers must compare epochs
+        # before trusting any generation value.
+        self.generation_epoch = 0
         self._values: Dict[int, int] = {}
         self._cells: Dict[int, Tuple[Cell, ...]] = {}
 
@@ -41,15 +66,52 @@ class AssistantTable:
             raise KeyError(f"key {key!r} already recorded")
         self._values[key] = value
         self._cells[key] = cells
+        width = self.width
         for j, t in cells:
-            self._cell_keys[j][t].add(key)
+            flat = j * width + t
+            self._buckets[flat].add(key)
+            self._gens[flat] += 1
+
+    def add_batch(
+        self,
+        keys: Sequence[int],
+        values: Sequence[int],
+        cells_list: Sequence[Tuple[Cell, ...]],
+    ) -> None:
+        """Bulk :meth:`add`: register many pairs in one pass.
+
+        Validates the whole batch (duplicates against live keys and within
+        the batch itself) before mutating anything, so a failed call leaves
+        the table untouched.
+        """
+        if not (len(keys) == len(values) == len(cells_list)):
+            raise ValueError("keys, values and cells_list must align")
+        live = self._values
+        seen: Set[int] = set()
+        for key in keys:
+            if key in live or key in seen:
+                raise KeyError(f"key {key!r} already recorded")
+            seen.add(key)
+        buckets = self._buckets
+        gens = self._gens
+        width = self.width
+        for key, value, cells in zip(keys, values, cells_list):
+            live[key] = value
+            self._cells[key] = cells
+            for j, t in cells:
+                flat = j * width + t
+                buckets[flat].add(key)
+                gens[flat] += 1
 
     def remove(self, key: int) -> None:
         """Forget a KV pair; its cells' counters drop by one (§IV-C Delete)."""
         cells = self._cells.pop(key)
         del self._values[key]
+        width = self.width
         for j, t in cells:
-            self._cell_keys[j][t].discard(key)
+            flat = j * width + t
+            self._buckets[flat].discard(key)
+            self._gens[flat] += 1
 
     def set_value(self, key: int, value: int) -> None:
         """Record the new value for an existing key (cells are unchanged)."""
@@ -69,7 +131,8 @@ class AssistantTable:
         """S_j[t]: the live set of keys hashed to ``cell``.
 
         The returned set is the internal one; callers that mutate the table
-        while iterating must copy it first.
+        while iterating must take a snapshot first (the repair walk does —
+        see :func:`repro.core.update._run_repair_walk`).
         """
         j, t = cell
         return self._cell_keys[j][t]
@@ -79,6 +142,21 @@ class AssistantTable:
         j, t = cell
         return len(self._cell_keys[j][t])
 
+    def generation(self, cell: Cell) -> int:
+        """The mutation counter of ``cell``'s bucket.
+
+        Bumped by every :meth:`add`/:meth:`remove` touching the bucket;
+        restarts from zero when :meth:`clear` bumps ``generation_epoch``.
+        """
+        j, t = cell
+        return self._gens[j * self.width + t]
+
+    @property
+    def generations(self) -> List[int]:
+        """The per-bucket counters as a flat list, indexed
+        ``array * width + index`` (the cost-cache hot path reads this)."""
+        return self._gens
+
     def pairs(self) -> Iterator[Tuple[int, int]]:
         """All live (key, value) pairs."""
         return iter(self._values.items())
@@ -87,9 +165,10 @@ class AssistantTable:
         """Drop every pair (used by reconstruction before re-inserting)."""
         self._values.clear()
         self._cells.clear()
-        for per_array in self._cell_keys:
-            for bucket in per_array:
-                bucket.clear()
+        for bucket in self._buckets:
+            bucket.clear()
+        self._gens = [0] * (self.num_arrays * self.width)
+        self.generation_epoch += 1
 
     def check_consistency(self) -> None:
         """Assert the structural invariants; raises AssertionError if broken.

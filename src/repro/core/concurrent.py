@@ -143,6 +143,12 @@ class ConcurrentVisionEmbedder(VisionEmbedder):
         with self._update_mutex:
             super().update(key, value)
 
+    def insert_batch(self, keys, values) -> None:
+        # One lock for the whole batch: the repair walks inside must not
+        # interleave with other writers (insert_many funnels through here).
+        with self._update_mutex:
+            super().insert_batch(keys, values)
+
     def delete(self, key: Key) -> None:
         with self._update_mutex:
             super().delete(key)

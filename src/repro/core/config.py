@@ -77,6 +77,11 @@ class EmbedderConfig:
     auto_reconstruct:
         If False, update failures always surface as exceptions (used by the
         failure-frequency experiments to count without retrying forever).
+    cost_cache:
+        Memoise the vision strategy's GetCost subtrees, invalidated by the
+        assistant table's per-bucket generation counters. Semantically
+        transparent (a property test asserts cached ≡ uncached choices);
+        disable for ablations or to bound slow-space RAM strictly.
     """
 
     space_factor: float = 1.7
@@ -87,6 +92,7 @@ class EmbedderConfig:
     reconstruct_efficiency_limit: float = 0.6
     max_reconstruct_attempts: int = 20
     auto_reconstruct: bool = True
+    cost_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.space_factor <= 1.0:

@@ -39,10 +39,10 @@ from repro.core.errors import (
     UpdateFailure,
 )
 from repro.core.stats import TableStats
-from repro.core.static_build import static_build
+from repro.core.static_build import static_build_arrays
 from repro.core.update import make_strategy, search_update_path
 from repro.core.value_table import ValueTable
-from repro.hashing import HashFamily, key_to_u64
+from repro.hashing import HashFamily, key_to_u64, keys_to_u64_batch
 from repro.table import Key, ValueOnlyTable
 
 Cell = Tuple[int, int]
@@ -94,13 +94,15 @@ class VisionEmbedder(ValueOnlyTable):
         self._assistant = AssistantTable(width, num_arrays)
         self._seed = seed
         self._hashes = HashFamily(seed, [width] * num_arrays)
+        self._stats = TableStats()
         self._strategy = make_strategy(
             self.config.strategy,
             self.config.depth_policy,
             random.Random(seed ^ 0xA5A5A5A5),
+            use_cache=self.config.cost_cache,
+            stats=self._stats,
         )
         self._retry_rng = random.Random(seed ^ 0x0F0F0F0F)
-        self._stats = TableStats()
         self._in_reconstruct = False
 
     # ------------------------------------------------------------------
@@ -164,6 +166,86 @@ class VisionEmbedder(ValueOnlyTable):
             # dropping the assistant entry restores full consistency.
             self._assistant.remove(handle)
             raise
+
+    def insert_batch(self, keys, values) -> None:
+        """Insert many new pairs through the vectorised write pipeline.
+
+        Keys are canonicalised to one ``uint64`` handle array, all cells
+        are computed in a single vectorised :meth:`HashFamily.indices_batch`
+        pass, and the whole batch is validated (duplicates, value range)
+        before anything is registered — a rejected batch leaves the table
+        untouched. The dynamic repair walks then run per key with the
+        precomputed cells, walk-for-walk identical to sequential
+        :meth:`insert` calls (a property test asserts bit-equal tables).
+
+        If a mid-batch failure triggers reconstruction, the new seed's
+        cells for the *remaining* keys are recomputed in one further
+        vectorised pass. :class:`SpaceExhausted` aborts the batch with the
+        already-walked prefix inserted, matching ``insert_many``'s
+        sequential semantics.
+        """
+        key_list = list(keys)
+        handles = keys_to_u64_batch(key_list)
+        n = len(handles)
+        if n == 0:
+            return
+        handle_list = handles.tolist()
+        value_list = [int(v) for v in values]
+        if len(value_list) != n:
+            raise ValueError("keys and values must align")
+        if len(set(handle_list)) != n:
+            raise DuplicateKey("duplicate keys within batch")
+        assistant = self._assistant
+        for i, handle in enumerate(handle_list):
+            if handle in assistant:
+                raise DuplicateKey(f"key {key_list[i]!r} already inserted")
+        if value_list and not (
+            0 <= min(value_list) and max(value_list) <= self._table.value_mask
+        ):
+            bad = next(v for v in value_list
+                       if not 0 <= v <= self._table.value_mask)
+            self._check_value(bad)
+        self._stats.note_batch(n)
+
+        def hash_rows(key_arr) -> list:
+            # One vectorised hashing pass, pre-assembled into per-key
+            # cells tuples ((0, t0), (1, t1), ...).
+            return list(zip(*(
+                [(j, t) for t in arr.tolist()]
+                for j, arr in enumerate(self._hashes.indices_batch(key_arr))
+            )))
+
+        cells_rows = hash_rows(handles)
+        base = 0
+        hashed_seed = self._seed
+        for i, handle in enumerate(handle_list):
+            if self._seed != hashed_seed:
+                # A mid-batch reconstruction reseeded every hash function:
+                # recompute the remaining keys' cells in one batched pass.
+                cells_rows = hash_rows(handles[i:])
+                base = i
+                hashed_seed = self._seed
+            assistant.add(handle, value_list[i], cells_rows[i - base])
+            try:
+                self._run_update(handle)
+            except SpaceExhausted:
+                assistant.remove(handle)
+                raise
+
+    def insert_many(self, pairs: Iterable[Tuple[Key, int]]) -> None:
+        """Insert pairs via :meth:`insert_batch` (vectorised hashing).
+
+        Unlike the base-class loop, the whole batch is validated up front:
+        a duplicate or out-of-range pair rejects the batch before any
+        insert happens. :class:`SpaceExhausted` still leaves the
+        successfully walked prefix in place, like sequential inserts.
+        """
+        pair_list = list(pairs)
+        if not pair_list:
+            return
+        self.insert_batch(
+            [key for key, _ in pair_list], [value for _, value in pair_list]
+        )
 
     def update(self, key: Key, value: int) -> None:
         """Change the value of an existing key; dynamic update per §IV."""
@@ -232,29 +314,45 @@ class VisionEmbedder(ValueOnlyTable):
         dynamic repair walks, succeeding with near-certainty at the default
         1.7 cells/key. Reseeds and retries on the rare peel stall.
         """
-        new_pairs = []
-        seen = set()
-        for key, value in pairs:
-            handle = key_to_u64(key)
-            if handle in self._assistant or handle in seen:
+        pair_list = list(pairs)
+        new_keys = keys_to_u64_batch(
+            [key for key, _ in pair_list]
+        ).tolist()
+        new_values = [int(value) for _, value in pair_list]
+        if len(set(new_keys)) != len(new_keys):
+            raise DuplicateKey("duplicate keys within batch")
+        for handle, (key, _) in zip(new_keys, pair_list):
+            if handle in self._assistant:
                 raise DuplicateKey(f"key {key!r} already inserted")
-            self._check_value(value)
-            seen.add(handle)
-            new_pairs.append((handle, value))
-        all_pairs = [(k, v) for k, v in self._assistant.pairs()]
-        all_pairs.extend(new_pairs)
+        if new_values and not (
+            0 <= min(new_values)
+            and max(new_values) <= self._table.value_mask
+        ):
+            bad = next(v for v in new_values
+                       if not 0 <= v <= self._table.value_mask)
+            self._check_value(bad)
+        all_keys = [key for key, _ in self._assistant.pairs()]
+        all_values = [value for _, value in self._assistant.pairs()]
+        all_keys.extend(new_keys)
+        all_values.extend(new_values)
+        key_array = np.array(all_keys, dtype=np.uint64)
+        self._stats.note_batch(len(new_keys))
 
         for _ in range(self.config.max_reconstruct_attempts):
             self._table.clear()
             self._assistant.clear()
             try:
-                static_build(
+                # One vectorised hashing pass per seed attempt feeds the
+                # flat-array peel directly.
+                static_build_arrays(
                     self._table,
                     self._assistant,
-                    (
-                        (key, self._cells_for(key), value)
-                        for key, value in all_pairs
-                    ),
+                    all_keys,
+                    all_values,
+                    [
+                        arr.tolist()
+                        for arr in self._hashes.indices_batch(key_array)
+                    ],
                 )
             except UpdateFailure:
                 self._stats.update_failures += 1
@@ -262,7 +360,7 @@ class VisionEmbedder(ValueOnlyTable):
                 self._seed += 1
                 self._hashes = self._hashes.reseeded(self._seed)
                 continue
-            self._stats.updates += len(new_pairs)
+            self._stats.updates += len(new_keys)
             return
         raise ReconstructionFailed(
             f"static peel failed for {self.config.max_reconstruct_attempts} "
@@ -336,7 +434,12 @@ class VisionEmbedder(ValueOnlyTable):
         """
         if method not in ("dynamic", "static"):
             raise ValueError("method must be 'dynamic' or 'static'")
-        pairs = [(key, value) for key, value in self._assistant.pairs()]
+        keys = []
+        values = []
+        for key, value in self._assistant.pairs():
+            keys.append(key)
+            values.append(value)
+        key_array = np.array(keys, dtype=np.uint64)
         started = time.perf_counter()
         self._in_reconstruct = True
         try:
@@ -346,20 +449,25 @@ class VisionEmbedder(ValueOnlyTable):
                 self._hashes = self._hashes.reseeded(self._seed)
                 self._table.clear()
                 self._assistant.clear()
+                # Every reseed recomputes every key's cells in one
+                # vectorised pass instead of n×k scalar murmur calls.
+                index_cols = [
+                    arr.tolist()
+                    for arr in self._hashes.indices_batch(key_array)
+                ]
                 if method == "static":
                     try:
-                        static_build(
+                        static_build_arrays(
                             self._table,
                             self._assistant,
-                            (
-                                (key, self._cells_for(key), value)
-                                for key, value in pairs
-                            ),
+                            keys,
+                            values,
+                            index_cols,
                         )
                         return
                     except UpdateFailure:
                         continue
-                elif self._try_rebuild(pairs):
+                elif self._try_rebuild(keys, values, index_cols):
                     return
             raise ReconstructionFailed(
                 f"no working seed within {self.config.max_reconstruct_attempts} "
@@ -369,10 +477,14 @@ class VisionEmbedder(ValueOnlyTable):
             self._in_reconstruct = False
             self._stats.reconstruct_seconds += time.perf_counter() - started
 
-    def _try_rebuild(self, pairs) -> bool:
+    def _try_rebuild(self, keys, values, index_cols) -> bool:
         """One rebuild pass; False if any insert's update fails."""
-        for inserted, (key, value) in enumerate(pairs):
-            self._assistant.add(key, value, self._cells_for(key))
+        num_arrays = self.num_arrays
+        for inserted, (key, value) in enumerate(zip(keys, values)):
+            cells = tuple(
+                (j, index_cols[j][inserted]) for j in range(num_arrays)
+            )
+            self._assistant.add(key, value, cells)
             try:
                 plan = search_update_path(
                     self._table,
@@ -405,7 +517,10 @@ class VisionEmbedder(ValueOnlyTable):
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self._stats
         return (
             f"VisionEmbedder(n={len(self)}, m={self.num_cells}, "
-            f"L={self._value_bits}, strategy={self.config.strategy!r})"
+            f"L={self._value_bits}, strategy={self.config.strategy!r}, "
+            f"cost_cache_hit_rate={stats.cost_cache_hit_rate:.2f}, "
+            f"batches={stats.batch_inserts} (largest {stats.largest_batch}))"
         )

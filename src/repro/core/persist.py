@@ -118,6 +118,15 @@ def load_embedder(source: PathOrFile) -> VisionEmbedder:
         table._table.load_dense(cells.astype(np.uint64))
     else:
         table._table._cells = cells.astype(np.uint64, copy=True)
-    for key, value in zip(keys.tolist(), values.tolist()):
-        table._assistant.add(key, value, table._cells_for(key))
+    # Recompute every key's cells in one vectorised pass and bulk-register.
+    num_arrays = table.num_arrays
+    index_cols = [arr.tolist() for arr in table._hashes.indices_batch(keys)]
+    table._assistant.add_batch(
+        keys.tolist(),
+        values.tolist(),
+        [
+            tuple((j, index_cols[j][i]) for j in range(num_arrays))
+            for i in range(len(keys))
+        ],
+    )
     return table

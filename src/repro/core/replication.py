@@ -116,6 +116,12 @@ class PublishingVisionEmbedder(VisionEmbedder):
         with self._capture_writes():
             super().insert(key, value)
 
+    def insert_batch(self, keys, values) -> None:
+        # insert_many funnels through here, so batched writes stream the
+        # same per-cell messages sequential inserts would.
+        with self._capture_writes():
+            super().insert_batch(keys, values)
+
     def update(self, key: Key, value: int) -> None:
         with self._capture_writes():
             super().update(key, value)

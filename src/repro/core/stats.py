@@ -1,7 +1,8 @@
 """Operational counters shared by every table implementation.
 
 The experiment drivers read these to reproduce the paper's failure-frequency
-(Fig 4) and reconstruction-time-excluded throughput (Fig 6) results.
+(Fig 4) and reconstruction-time-excluded throughput (Fig 6) results; the
+batch/cache counters track the vectorised write pipeline across PRs.
 """
 
 from __future__ import annotations
@@ -28,6 +29,13 @@ class TableStats:
     reconstruct_seconds:
         Wall-clock time spent inside reconstruction, so throughput can be
         reported with and without it (Figs 5 vs 6).
+    cost_cache_hits / cost_cache_misses:
+        GetCost memo traffic of the vision strategy (a "miss" is one
+        recomputed full-bucket subtree; hits revalidate via bucket
+        generation counters only).
+    batch_inserts / batch_keys / largest_batch:
+        Calls to the batched write path, total keys routed through it, and
+        the biggest single batch seen.
     """
 
     updates: int = 0
@@ -35,6 +43,24 @@ class TableStats:
     reconstructions: int = 0
     repair_steps: int = 0
     reconstruct_seconds: float = 0.0
+    cost_cache_hits: int = 0
+    cost_cache_misses: int = 0
+    batch_inserts: int = 0
+    batch_keys: int = 0
+    largest_batch: int = 0
+
+    @property
+    def cost_cache_hit_rate(self) -> float:
+        """Fraction of GetCost subtree evaluations served from the cache."""
+        total = self.cost_cache_hits + self.cost_cache_misses
+        return self.cost_cache_hits / total if total else 0.0
+
+    def note_batch(self, size: int) -> None:
+        """Record one batched write of ``size`` keys."""
+        self.batch_inserts += 1
+        self.batch_keys += size
+        if size > self.largest_batch:
+            self.largest_batch = size
 
     def snapshot(self) -> "TableStats":
         """An independent copy of the current counters."""
@@ -44,6 +70,11 @@ class TableStats:
             reconstructions=self.reconstructions,
             repair_steps=self.repair_steps,
             reconstruct_seconds=self.reconstruct_seconds,
+            cost_cache_hits=self.cost_cache_hits,
+            cost_cache_misses=self.cost_cache_misses,
+            batch_inserts=self.batch_inserts,
+            batch_keys=self.batch_keys,
+            largest_batch=self.largest_batch,
         )
 
     def reset(self) -> None:
@@ -53,3 +84,8 @@ class TableStats:
         self.reconstructions = 0
         self.repair_steps = 0
         self.reconstruct_seconds = 0.0
+        self.cost_cache_hits = 0
+        self.cost_cache_misses = 0
+        self.batch_inserts = 0
+        self.batch_keys = 0
+        self.largest_batch = 0

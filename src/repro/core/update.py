@@ -37,6 +37,7 @@ full occupancy cannot overflow the Python recursion limit.
 from __future__ import annotations
 
 import random
+import weakref
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Set, Tuple
@@ -44,6 +45,7 @@ from typing import Callable, List, Optional, Set, Tuple
 from repro.core.assistant_table import AssistantTable
 from repro.core.config import DepthPolicy
 from repro.core.errors import UpdateFailure
+from repro.core.stats import TableStats
 from repro.core.value_table import ValueTable
 
 Cell = Tuple[int, int]
@@ -83,6 +85,30 @@ class SimpleStrategy(UpdateStrategy):
         return self._rng.choice(candidates)
 
 
+class _CostCache:
+    """Shared memo store for :class:`VisionStrategy` (and its retry twins).
+
+    ``entries`` maps ``(key, excluded_flat_cell, remaining_depth)`` to
+    ``(cost, dep_cells, dep_gens)``: the memoised subtree cost, the flat
+    ids (``array * width + index``) of every bucket the subtree read, and
+    the generation each of those buckets had at computation time. An entry
+    is trusted only while every dependent bucket's generation counter is
+    unchanged; the owner check (weakref + ``generation_epoch``) discards
+    everything when the assistant is swapped or cleared.
+    """
+
+    __slots__ = ("entries", "owner", "epoch")
+
+    # Hard bound on memo entries; the cache is cleared wholesale beyond it
+    # (entries are invalidated by writes anyway, so this only limits RAM).
+    MAX_ENTRIES = 1 << 20
+
+    def __init__(self) -> None:
+        self.entries: dict = {}
+        self.owner: Optional[weakref.ref] = None
+        self.epoch = -1
+
+
 class VisionStrategy(UpdateStrategy):
     """§IV-B: pick the candidate with the lowest GetCost estimate.
 
@@ -96,6 +122,16 @@ class VisionStrategy(UpdateStrategy):
     ``rng``/``epsilon`` add the retry randomisation: ties break randomly,
     and with probability ε the walk explores a uniformly random candidate
     instead of the cheapest.
+
+    With ``use_cache=True`` (the default) each bucket member's subtree
+    ``T(k, cell, r) = min_{c ∈ cells(k)∖{cell}} E(c, k, r−1)`` is memoised
+    per ``(key, excluded-cell, remaining-depth)`` — the unit every walk
+    re-evaluates when it looks at a bucket. Entries carry the generation
+    counters of every bucket their DFS read, which
+    ``AssistantTable.add``/``remove`` bump per touched bucket — so walks
+    over stable regions revalidate in a few integer compares instead of
+    re-running the subtree. Cache traffic is reported through ``stats``
+    (``cost_cache_hits``/``cost_cache_misses``) when one is attached.
     """
 
     def __init__(
@@ -103,10 +139,20 @@ class VisionStrategy(UpdateStrategy):
         depth_policy: Optional[DepthPolicy] = None,
         rng: Optional[random.Random] = None,
         epsilon: float = 0.0,
+        use_cache: bool = True,
+        stats: Optional[TableStats] = None,
+        shortcut: bool = True,
     ):
         self.depth_policy = depth_policy if depth_policy is not None else DepthPolicy()
         self._rng = rng
         self.epsilon = epsilon
+        self.use_cache = use_cache
+        # ``shortcut`` skips the DFS when a candidate bucket holds only the
+        # repaired key (provably minimal cost); disable together with
+        # ``use_cache`` to time the unoptimised reference write path.
+        self.shortcut = shortcut
+        self._stats = stats
+        self._cache = _CostCache()
 
     def choose(
         self,
@@ -118,12 +164,51 @@ class VisionStrategy(UpdateStrategy):
         if self._rng is not None and self.epsilon:
             if self._rng.random() < self.epsilon:
                 return self._rng.choice(candidates)
+        if self._rng is None and self.shortcut:
+            # Provably-minimal shortcut: a candidate whose bucket holds no
+            # key but ``from_key`` has GetCost exactly 1 (every other cost
+            # is ≥ 2 at depth ≥ 2 and ≥ its counter at depth 1), and the
+            # deterministic tie-break keeps the first minimum — so the DFS
+            # can be skipped entirely. Randomised retry twins keep the full
+            # evaluation, which consumes their rng stream tie by tie.
+            for cell in candidates:
+                if assistant.count_at(cell) <= 1:
+                    return cell
         max_depth = self.depth_policy.depth_for(space_efficiency)
+        if self.use_cache:
+            self._sync_cache(assistant)
+            remaining = max_depth - 1
+            width = assistant.width
+
+            def evaluate(cell: Cell) -> int:
+                return self._cost_excluding(cell[0] * width + cell[1],
+                                            from_key, remaining, assistant,
+                                            None)
+        else:
+
+            def evaluate(cell: Cell) -> int:
+                return self._get_cost(cell, from_key, 1, max_depth, assistant)
+
+        if self._rng is None and self.shortcut:
+            # Every candidate bucket holds ≥ 2 keys here (the shortcut
+            # above returned otherwise), so every cost is ≥ 2: the first
+            # candidate that evaluates to 2 is the exact first-wins argmin
+            # and the remaining candidates need not be evaluated.
+            best_cell = candidates[0]
+            best_cost = evaluate(best_cell)
+            for cell in candidates[1:]:
+                if best_cost == 2:
+                    return best_cell
+                cost = evaluate(cell)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_cell = cell
+            return best_cell
+
+        costs = [evaluate(cell) for cell in candidates]
         best_cell = candidates[0]
-        best_cost = self._get_cost(candidates[0], from_key, 1, max_depth,
-                                   assistant)
-        for cell in candidates[1:]:
-            cost = self._get_cost(cell, from_key, 1, max_depth, assistant)
+        best_cost = costs[0]
+        for cell, cost in zip(candidates[1:], costs[1:]):
             if cost < best_cost or (
                 cost == best_cost
                 and self._rng is not None
@@ -132,6 +217,8 @@ class VisionStrategy(UpdateStrategy):
                 best_cost = cost
                 best_cell = cell
         return best_cell
+
+    # -- uncached reference recursion (also used when use_cache=False) ----
 
     def _get_cost(
         self,
@@ -154,11 +241,127 @@ class VisionStrategy(UpdateStrategy):
             )
         return cost
 
-    def retry_variant(self, attempt: int, rng: random.Random) -> "VisionStrategy":
-        """Randomised twin for retry ``attempt`` (ε grows with attempts)."""
-        return VisionStrategy(
-            self.depth_policy, rng=rng, epsilon=min(0.5, 0.1 + 0.05 * attempt)
+    # -- memoised recursion ------------------------------------------------
+
+    def _sync_cache(self, assistant: AssistantTable) -> None:
+        """Reset the memo store if it belongs to another/cleared assistant."""
+        cache = self._cache
+        owner = cache.owner() if cache.owner is not None else None
+        if owner is not assistant or cache.epoch != assistant.generation_epoch:
+            cache.entries.clear()
+            cache.owner = weakref.ref(assistant)
+            cache.epoch = assistant.generation_epoch
+        elif len(cache.entries) > _CostCache.MAX_ENTRIES:
+            cache.entries.clear()
+
+    def _cost_excluding(
+        self,
+        flat_cell: int,
+        from_key: int,
+        remaining: int,
+        assistant: AssistantTable,
+        out_deps: Optional[List[int]],
+    ) -> int:
+        """E(cell, from_key, remaining): the paper's GetCost.
+
+        Identical recursion to :meth:`_get_cost`, but cells are flat bucket
+        ids (``array * width + index``) and each bucket member's
+        min-over-options subtree goes through the :meth:`_key_term` memo.
+        """
+        if out_deps is not None:
+            out_deps.append(flat_cell)
+        bucket = assistant._buckets[flat_cell]
+        if remaining <= 0:
+            return len(bucket)
+        cost = 1
+        key_term = self._key_term
+        for key in bucket:
+            if key != from_key:
+                cost += key_term(key, flat_cell, remaining, assistant,
+                                 out_deps)
+        return cost
+
+    def _key_term(
+        self,
+        key: int,
+        flat_cell: int,
+        remaining: int,
+        assistant: AssistantTable,
+        out_deps: Optional[List[int]],
+    ) -> int:
+        """Memoised ``min_{c ∈ cells(key)∖{cell}} E(c, key, remaining−1)``.
+
+        This is the unit of reuse: the same (key, excluded-cell) subtree is
+        re-evaluated every time any walk looks at the key's bucket. Entries
+        carry the flat ids and generations of every bucket their subtree
+        read and are trusted only while every generation still matches.
+        """
+        if remaining < 2:
+            # A depth-1 subtree is the min of two bucket lengths — cheaper
+            # to recompute than any memo lookup, validation, or store.
+            width = assistant.width
+            buckets = assistant._buckets
+            cost = -1
+            for j, t in assistant._cells[key]:
+                option = j * width + t
+                if option != flat_cell:
+                    if out_deps is not None:
+                        out_deps.append(option)
+                    term = len(buckets[option])
+                    if cost < 0 or term < cost:
+                        cost = term
+            return cost
+        entries = self._cache.entries
+        memo_key = (key, flat_cell, remaining)
+        entry = entries.get(memo_key)
+        if entry is not None:
+            gens = assistant._gens
+            dep_cells = entry[1]
+            for flat, gen in zip(dep_cells, entry[2]):
+                if gens[flat] != gen:
+                    break
+            else:
+                if self._stats is not None:
+                    self._stats.cost_cache_hits += 1
+                if out_deps is not None:
+                    out_deps.extend(dep_cells)
+                return entry[0]
+        if self._stats is not None:
+            self._stats.cost_cache_misses += 1
+        deps: List[int] = []
+        width = assistant.width
+        cost = -1
+        for j, t in assistant._cells[key]:
+            option = j * width + t
+            if option != flat_cell:
+                term = self._cost_excluding(option, key, remaining - 1,
+                                            assistant, deps)
+                if cost < 0 or term < cost:
+                    cost = term
+        gens = assistant._gens
+        dep_cells = tuple(set(deps))
+        entries[memo_key] = (
+            cost, dep_cells, tuple([gens[flat] for flat in dep_cells])
         )
+        if out_deps is not None:
+            out_deps.extend(deps)
+        return cost
+
+    def retry_variant(self, attempt: int, rng: random.Random) -> "VisionStrategy":
+        """Randomised twin for retry ``attempt`` (ε grows with attempts).
+
+        The twin shares this strategy's cost-cache and stats sink, so
+        retries keep benefiting from (and warming) the same memo store.
+        """
+        twin = VisionStrategy(
+            self.depth_policy,
+            rng=rng,
+            epsilon=min(0.5, 0.1 + 0.05 * attempt),
+            use_cache=self.use_cache,
+            stats=self._stats,
+        )
+        twin._cache = self._cache
+        return twin
 
 
 @dataclass
@@ -196,6 +399,12 @@ def _run_repair_walk(
     the strategy and modified, re-queueing every other key on that cell.
     Raises :class:`UpdateFailure` when ``max_steps`` items have been
     processed without quiescing.
+
+    The walk never trusts the assistant's *live* bucket sets across its own
+    re-queues: ``keys_at`` is snapshotted before iterating, and a queued key
+    that has since been removed from the table (a strategy callback or a
+    re-entrant delete can do that) is skipped instead of crashing on its
+    missing bookkeeping.
     """
     steps = 0
     stack: List[Tuple[int, Optional[Cell]]] = [(key, None)]
@@ -204,6 +413,8 @@ def _run_repair_walk(
         steps += 1
         if steps > max_steps:
             raise UpdateFailure(steps=steps)
+        if current not in assistant:
+            continue
         if check_consistent(current):
             continue
         cells = assistant.cells(current)
@@ -211,7 +422,7 @@ def _run_repair_walk(
         choice = strategy.choose(candidates, current, assistant,
                                  space_efficiency)
         modify(choice)
-        for neighbour in assistant.keys_at(choice):
+        for neighbour in tuple(assistant.keys_at(choice)):
             if neighbour != current:
                 stack.append((neighbour, choice))
     return steps
@@ -341,10 +552,16 @@ def make_strategy(
     name: str,
     depth_policy: Optional[DepthPolicy] = None,
     rng: Optional[random.Random] = None,
+    use_cache: bool = True,
+    stats: Optional[TableStats] = None,
 ) -> UpdateStrategy:
-    """Build a strategy by config name (``"vision"`` or ``"simple"``)."""
+    """Build a strategy by config name (``"vision"`` or ``"simple"``).
+
+    ``use_cache`` enables the vision strategy's GetCost memoisation;
+    ``stats`` (a :class:`TableStats`) receives its hit/miss counters.
+    """
     if name == "vision":
-        return VisionStrategy(depth_policy)
+        return VisionStrategy(depth_policy, use_cache=use_cache, stats=stats)
     if name == "simple":
         return SimpleStrategy(rng)
     raise ValueError(f"unknown strategy {name!r}")

@@ -83,6 +83,20 @@ class ValueTable:
         """Zero every cell (used by reconstruction)."""
         self._cells.fill(0)
 
+    def to_dense(self) -> np.ndarray:
+        """The cell matrix as (num_arrays, width) uint64 (persistence)."""
+        return self._cells.copy()
+
+    def load_dense(self, cells: np.ndarray) -> None:
+        """Restore from a dense cell matrix (persistence, bulk writes)."""
+        if cells.shape != (self.num_arrays, self.width):
+            raise ValueError("dense matrix shape mismatch")
+        np.bitwise_and(
+            np.asarray(cells, dtype=np.uint64),
+            np.uint64(self.value_mask),
+            out=self._cells,
+        )
+
     def copy(self) -> "ValueTable":
         """An independent deep copy (used by tests and snapshots)."""
         clone = ValueTable(self.width, self.value_bits, self.num_arrays)

@@ -9,7 +9,13 @@ in this repository is built on.
 """
 
 from repro.hashing.murmur3 import murmur3_32, murmur3_32_u64, murmur3_32_u64_batch
-from repro.hashing.family import IndexHasher, HashFamily, key_to_bytes, key_to_u64
+from repro.hashing.family import (
+    IndexHasher,
+    HashFamily,
+    key_to_bytes,
+    key_to_u64,
+    keys_to_u64_batch,
+)
 
 __all__ = [
     "murmur3_32",
@@ -19,4 +25,5 @@ __all__ = [
     "HashFamily",
     "key_to_bytes",
     "key_to_u64",
+    "keys_to_u64_batch",
 ]

@@ -52,6 +52,22 @@ def key_to_u64(key: Key) -> int:
     return (high << 32) | low
 
 
+def keys_to_u64_batch(keys) -> np.ndarray:
+    """Canonicalise a batch of keys to one ``uint64`` handle array.
+
+    Numpy arrays of unsigned/non-negative integers pass through with a
+    single (possibly zero-copy) cast; anything else — python ints, strings,
+    bytes, mixed sequences — falls back to per-element :func:`key_to_u64`.
+    """
+    if isinstance(keys, np.ndarray) and keys.dtype.kind in "ui":
+        if keys.dtype.kind == "i" and keys.size and int(keys.min()) < 0:
+            raise ValueError("integer keys must be non-negative")
+        return keys.astype(np.uint64, copy=False)
+    return np.fromiter(
+        (key_to_u64(key) for key in keys), dtype=np.uint64
+    )
+
+
 class IndexHasher:
     """One seeded hash function mapping keys into ``[0, width)``."""
 
