@@ -14,11 +14,19 @@ values, capacity == n so the final space efficiency matches a full table):
 - ``bulk_load`` — static build through the flat-array (IBLT-style) peel
   fed by one vectorised hashing pass.
 
+A sixth, untimed-for-thresholds leg (``insert_many_traced``) repeats the
+batched insert with full observability hooks attached and writes the
+table's metrics registry as ``<out-base>.metrics.json`` /
+``<out-base>.metrics.prom`` sidecars — the timed legs above stay
+hook-free so the speedup numbers measure the bare write path.
+
 Results, speedups, and cost-cache counters are written to
 ``BENCH_build.json``. ``--check`` exits non-zero when the speedups fall
 below the thresholds (halved in ``--smoke`` mode, whose small n keeps the
 whole run under ~30 s for CI while still catching a >2x write-path
-regression).
+regression), when the metrics sidecar fails to parse, when the
+walk-length histogram is empty, or when the exported counter totals
+disagree with the legacy ``TableStats`` fields.
 
 Run from the repository root::
 
@@ -44,6 +52,7 @@ from repro.core.config import EmbedderConfig
 from repro.core.embedder import VisionEmbedder
 from repro.core.static_build import static_build_reference
 from repro.hashing import key_to_u64
+from repro.obs import instrument, parse_prometheus_text, write_sidecar
 
 SEED = 3
 VALUE_BITS = 12
@@ -139,7 +148,71 @@ def run_legs(n: int) -> dict:
     record("bulk_load", time.perf_counter() - start)
     table.check_invariants()
 
-    return legs
+    # -- batched insert with hooks on (observability sidecar leg) -------
+    # Not part of the speedup thresholds; its registry becomes the
+    # metrics sidecar and its timing shows the cost of instrumentation.
+    table = make_embedder(n)
+    instrument(table, traces=64)
+    start = time.perf_counter()
+    table.insert_many(zip(key_list, value_list))
+    record("insert_many_traced", time.perf_counter() - start)
+    table.check_invariants()
+
+    return legs, table
+
+
+#: Exported counter name -> TableStats attribute it must equal.
+SIDECAR_COUNTERS = {
+    "repro_updates_total": "updates",
+    "repro_update_failures_total": "update_failures",
+    "repro_reconstructions_total": "reconstructions",
+    "repro_repair_steps_total": "repair_steps",
+    "repro_batch_inserts_total": "batch_inserts",
+    "repro_batch_keys_total": "batch_keys",
+}
+
+
+def check_sidecar(json_path: str, prom_path: str, table) -> list:
+    """Validate the metrics sidecars against the traced table's stats.
+
+    Returns a list of problem strings (empty when everything checks out):
+    both files must parse, the walk-length histogram must be non-empty,
+    and the exported counter totals must equal the legacy ``TableStats``
+    fields they are a view over.
+    """
+    problems = []
+    try:
+        with open(json_path) as handle:
+            snapshot = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"{json_path} unreadable: {exc}"]
+    try:
+        with open(prom_path) as handle:
+            samples = parse_prometheus_text(handle.read())
+    except (OSError, ValueError) as exc:
+        return [f"{prom_path} unreadable: {exc}"]
+
+    if snapshot.get("format") != "repro-metrics/1":
+        problems.append(f"unexpected format marker {snapshot.get('format')!r}")
+    walk = snapshot.get("histograms", {}).get("repro_walk_steps")
+    if walk is None or walk["count"] == 0:
+        problems.append("walk-length histogram missing or empty")
+    if samples.get("repro_walk_steps_count", 0) != (walk or {}).get("count"):
+        problems.append("prom/json walk-step counts disagree")
+
+    stats = table.stats
+    for name, attr in SIDECAR_COUNTERS.items():
+        expected = getattr(stats, attr)
+        exported = snapshot.get("counters", {}).get(name, {}).get("value")
+        if exported != expected:
+            problems.append(
+                f"{name}={exported!r} but TableStats.{attr}={expected!r}"
+            )
+        if samples.get(name) != float(expected):
+            problems.append(
+                f"prom {name}={samples.get(name)!r} != {expected!r}"
+            )
+    return problems
 
 
 def main(argv=None) -> int:
@@ -157,7 +230,7 @@ def main(argv=None) -> int:
     n = 20_000 if args.smoke else args.n
     thresholds = SMOKE_THRESHOLDS if args.smoke else FULL_THRESHOLDS
     print(f"write-path benchmark: n={n} smoke={args.smoke}")
-    legs = run_legs(n)
+    legs, traced_table = run_legs(n)
 
     speedups = {
         "insert_many": round(
@@ -180,8 +253,9 @@ def main(argv=None) -> int:
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
+    json_path, prom_path = write_sidecar(traced_table.metrics, args.out)
     print(f"speedups: {speedups}  (thresholds: {thresholds})")
-    print(f"wrote {args.out}")
+    print(f"wrote {args.out} (+ {json_path}, {prom_path})")
 
     if args.check:
         failed = {
@@ -194,7 +268,12 @@ def main(argv=None) -> int:
                 print(f"FAIL {name}: {got:.2f}x < required {minimum:.2f}x",
                       file=sys.stderr)
             return 1
-        print("all speedup thresholds met")
+        sidecar_problems = check_sidecar(json_path, prom_path, traced_table)
+        if sidecar_problems:
+            for problem in sidecar_problems:
+                print(f"FAIL sidecar: {problem}", file=sys.stderr)
+            return 1
+        print("all speedup thresholds met; metrics sidecar validated")
     return 0
 
 

@@ -50,6 +50,21 @@ def main() -> None:
     print(f"update failures so far: {table.stats.update_failures}, "
           f"reconstructions: {table.stats.reconstructions}")
 
+    # --- observability ---------------------------------------------------
+    # instrument() attaches walk/kick/reconstruction histograms to the
+    # table's own metrics registry; exporters render it as Prometheus
+    # text or JSON (the full guide is docs/observability.md).
+    from repro.obs import instrument, json_snapshot
+
+    watched = VisionEmbedder(capacity=2000, value_bits=8, seed=42)
+    instrument(watched)
+    for key, value in list(pairs.items())[:1500]:
+        watched.put(key, value)
+    snap = json_snapshot(watched.metrics)
+    walk = snap["histograms"]["repro_walk_steps"]
+    print(f"instrumented table: {snap['counters']['repro_updates_total']['value']}"
+          f" updates, {walk['count']} repair walks observed")
+
     # --- tuning ----------------------------------------------------------
     # A tighter budget (closer to the measured minimum 1.58) trades update
     # speed; a looser one buys headroom. The depth schedule and repair

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Doc-drift gate: check every ``python`` code fence in the Markdown docs.
+
+Two tiers, so reference snippets and runnable walkthroughs are both kept
+honest without forcing every fragment to be executable:
+
+1. **Syntax tier** (all files): every ```python fence in ``docs/*.md``,
+   ``README.md`` and ``CONTRIBUTING.md`` must at least ``compile()`` —
+   catching truncated examples, bad indentation, and Python-2-isms.
+2. **Execution tier** (``EXEC_FILES``): fences are executed top to bottom
+   in one shared namespace per file, exactly like a reader pasting them
+   into a REPL. ``docs/observability.md`` and the README quickstart are
+   whole worked examples, so a renamed API breaks this gate immediately.
+
+``examples/quickstart.py`` is additionally run as a subprocess (it is the
+first thing a new user executes).
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Files whose python fences must *run*, not merely parse. Fences in one
+#: file share a namespace (earlier fences define names for later ones).
+EXEC_FILES = ("docs/observability.md", "README.md")
+
+FENCE_RE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def markdown_files() -> list:
+    files = ["README.md", "CONTRIBUTING.md"]
+    docs_dir = os.path.join(ROOT, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        if name.endswith(".md"):
+            files.append(os.path.join("docs", name))
+    return files
+
+
+def python_fences(path: str) -> list:
+    with open(os.path.join(ROOT, path)) as handle:
+        text = handle.read()
+    return [match.group(1) for match in FENCE_RE.finditer(text)]
+
+
+def check_file(path: str) -> list:
+    """Returns a list of problem strings for one Markdown file."""
+    problems = []
+    fences = python_fences(path)
+    namespace: dict = {"__name__": f"docfence:{path}"}
+    for index, source in enumerate(fences):
+        label = f"{path} fence {index + 1}/{len(fences)}"
+        try:
+            code = compile(source, label, "exec")
+        except SyntaxError as exc:
+            problems.append(f"{label}: syntax error: {exc}")
+            continue
+        if path in EXEC_FILES:
+            try:
+                exec(code, namespace)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                problems.append(f"{label}: raised {type(exc).__name__}: {exc}")
+    return problems
+
+
+def check_quickstart() -> list:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "examples", "quickstart.py")],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    if result.returncode != 0:
+        return [
+            "examples/quickstart.py exited "
+            f"{result.returncode}:\n{result.stderr.strip()}"
+        ]
+    return []
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    problems = []
+    checked = 0
+    for path in markdown_files():
+        fences = python_fences(path)
+        checked += len(fences)
+        mode = "exec" if path in EXEC_FILES else "syntax"
+        print(f"{path}: {len(fences)} python fence(s) [{mode}]")
+        problems.extend(check_file(path))
+    problems.extend(check_quickstart())
+    print(f"checked {checked} fences + examples/quickstart.py")
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        return 1
+    print("all docs checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

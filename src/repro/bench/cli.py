@@ -5,10 +5,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import nullcontext
 from typing import List, Optional
 
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.export import results_to_csv, results_to_json
+from repro.bench.harness import metrics_sidecar
 from repro.bench.regression import compare_run
 
 
@@ -50,6 +52,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compare against a previous --format json output file",
     )
     parser.add_argument(
+        "--metrics-out", metavar="BASE", default=None,
+        help=(
+            "instrument every table the run builds and write aggregated "
+            "BASE.metrics.json + BASE.metrics.prom sidecars "
+            "(see docs/observability.md)"
+        ),
+    )
+    parser.add_argument(
         "--tolerance", type=float, default=0.5,
         help="relative change flagged by --compare (default 0.5 = ±50%%)",
     )
@@ -72,16 +82,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
+    sidecar = (
+        metrics_sidecar(args.metrics_out)
+        if args.metrics_out is not None
+        else nullcontext()
+    )
     results = []
-    for name in names:
-        started = time.perf_counter()
-        result = run_experiment(name, scale=args.scale, seed=args.seed)
-        elapsed = time.perf_counter() - started
-        results.append(result)
-        if args.format == "text" and args.output is None:
-            print(result.render())
-            print(f"({elapsed:.1f}s)")
-            print()
+    with sidecar as collector:
+        for name in names:
+            started = time.perf_counter()
+            result = run_experiment(name, scale=args.scale, seed=args.seed)
+            elapsed = time.perf_counter() - started
+            results.append(result)
+            if args.format == "text" and args.output is None:
+                print(result.render())
+                print(f"({elapsed:.1f}s)")
+                print()
+    if collector is not None:
+        json_path, prom_path = collector.sidecar_paths
+        print(f"wrote metrics sidecars {json_path} and {prom_path}")
 
     if args.format == "csv":
         rendered = results_to_csv(results)

@@ -3,13 +3,25 @@
 The paper's metrics (§VI-A1): Throughput in Mops (million operations per
 second) and latency percentiles (tail latency shows update behaviour when
 the structure is nearly full).
+
+:func:`metrics_sidecar` is the bench layer's observability wiring: wrap a
+benchmark run in it and every table the run builds is instrumented
+(walk/kick/reconstruction histograms via default
+:class:`~repro.obs.hooks.MetricsHooks`), and on exit one aggregated
+JSON + Prometheus sidecar lands next to the results file — see
+docs/observability.md.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Sequence
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.obs.exporters import write_sidecar
+from repro.obs.hooks import default_metrics
+from repro.obs.registry import RegistryCollector
 
 
 @dataclass(frozen=True)
@@ -80,3 +92,36 @@ def measure_each(operations: Iterable[Callable[[], None]]) -> List[float]:
 def latency_percentiles(operations: Iterable[Callable[[], None]]) -> Percentiles:
     """Run operations one by one and summarise their latency tail."""
     return Percentiles.from_samples(measure_each(operations))
+
+
+@contextmanager
+def metrics_sidecar(path: str) -> Iterator[RegistryCollector]:
+    """Instrument everything inside the ``with`` and emit one sidecar.
+
+    While the context is active, every table constructed gets default
+    :class:`~repro.obs.hooks.MetricsHooks` (walk/kick/reconstruction
+    histograms) and every :class:`~repro.obs.registry.MetricsRegistry`
+    created is captured. On exit the captured registries are aggregated —
+    counters summed, gauges maxed, histograms added bucket-wise — and
+    written as ``<base>.metrics.json`` + ``<base>.metrics.prom`` next to
+    ``path`` (typically the benchmark's results file).
+
+    Yields the collector; ``collector.registries()`` is available inside
+    the block for per-table inspection. The sidecar paths are recorded on
+    the collector as ``sidecar_paths`` after exit.
+    """
+    collector = RegistryCollector()
+    with default_metrics(True), collector:
+        yield collector
+    collector.sidecar_paths = write_sidecar(collector.aggregate(), path)
+
+
+def sidecar_paths_for(path: str) -> Tuple[str, str]:
+    """The (json, prom) sidecar paths :func:`metrics_sidecar` would write
+    next to ``path`` — for callers that want to report or check them."""
+    import os
+
+    base, ext = os.path.splitext(path)
+    if ext not in (".json", ".csv", ".txt", ".prom"):
+        base = path
+    return base + ".metrics.json", base + ".metrics.prom"

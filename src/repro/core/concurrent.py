@@ -126,12 +126,25 @@ class ConcurrentVisionEmbedder(VisionEmbedder):
         seed: int = 1,
         num_arrays: int = 3,
         packed: bool = False,
+        hooks=None,
     ):
         super().__init__(capacity, value_bits, config=config, seed=seed,
-                         num_arrays=num_arrays, packed=packed)
+                         num_arrays=num_arrays, packed=packed, hooks=hooks)
         # Reentrant: insert/update may trigger reconstruct() internally.
         self._update_mutex = threading.RLock()
         self._rebuild_gate = RWLock()
+
+    def set_hooks(self, hooks) -> None:
+        # Serialised against mutations so a walk never sees the hooks (or
+        # the strategy's subtree histogram) change mid-flight. Hook events
+        # themselves fire under the update mutex — one writer at a time —
+        # so MetricsHooks/TableStats counters stay exact; scrapers on
+        # other threads go through the registry's locked methods.
+        if not hasattr(self, "_update_mutex"):  # during __init__
+            super().set_hooks(hooks)
+            return
+        with self._update_mutex:
+            super().set_hooks(hooks)
 
     # -- mutations: serialised -----------------------------------------
 

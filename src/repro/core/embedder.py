@@ -43,6 +43,7 @@ from repro.core.static_build import static_build_arrays
 from repro.core.update import make_strategy, search_update_path
 from repro.core.value_table import ValueTable
 from repro.hashing import HashFamily, key_to_u64, keys_to_u64_batch
+from repro.obs.hooks import MetricsHooks, default_metrics_enabled
 from repro.table import Key, ValueOnlyTable
 
 Cell = Tuple[int, int]
@@ -68,6 +69,14 @@ class VisionEmbedder(ValueOnlyTable):
         title's bit-level compactness realised in memory) instead of one
         word per cell. Packed lookups cost a little more Python-side;
         semantics are identical.
+    hooks:
+        Optional tracing hooks (:class:`repro.obs.hooks.WalkHooks` shape)
+        receiving walk/kick/reconstruct/peel events — see
+        docs/observability.md. None (the default) keeps the write path at
+        one pointer test per event site; when
+        :func:`repro.obs.enable_default_metrics` is active and no hooks
+        are given, a :class:`~repro.obs.hooks.MetricsHooks` over this
+        table's own stats registry is attached automatically.
     """
 
     name = "vision"
@@ -80,6 +89,7 @@ class VisionEmbedder(ValueOnlyTable):
         seed: int = 1,
         num_arrays: int = 3,
         packed: bool = False,
+        hooks=None,
     ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -103,7 +113,17 @@ class VisionEmbedder(ValueOnlyTable):
             stats=self._stats,
         )
         self._retry_rng = random.Random(seed ^ 0x0F0F0F0F)
+        # Raw counter handles for the per-insert path: mutations are
+        # serialised (single writer), so the bare .value increment is safe
+        # and as cheap as the plain dataclass field it replaced.
+        self._updates_counter = self._stats.counter_for("updates")
+        self._repair_steps_counter = self._stats.counter_for("repair_steps")
         self._in_reconstruct = False
+        self._hooks = None
+        if hooks is None and default_metrics_enabled():
+            hooks = MetricsHooks(self._stats.registry)
+        if hooks is not None:
+            self.set_hooks(hooks)
 
     # ------------------------------------------------------------------
     # ValueOnlyTable surface
@@ -120,6 +140,26 @@ class VisionEmbedder(ValueOnlyTable):
     @property
     def stats(self) -> TableStats:
         return self._stats
+
+    @property
+    def hooks(self):
+        """The attached tracing hooks, or None when tracing is disabled."""
+        return self._hooks
+
+    def set_hooks(self, hooks) -> None:
+        """Attach (or with None, detach) tracing hooks.
+
+        Any object with the :class:`repro.obs.hooks.WalkHooks` methods
+        works. A hooks object exposing ``subtree_histogram`` (e.g.
+        :class:`~repro.obs.hooks.MetricsHooks`, or a composite containing
+        one) additionally wires the GetCost-subtree histogram into the
+        vision strategy; detaching clears it.
+        """
+        self._hooks = hooks
+        if hasattr(self._strategy, "subtree_histogram"):
+            self._strategy.subtree_histogram = getattr(
+                hooks, "subtree_histogram", None
+            )
 
     @property
     def seed(self) -> int:
@@ -353,6 +393,7 @@ class VisionEmbedder(ValueOnlyTable):
                         arr.tolist()
                         for arr in self._hashes.indices_batch(key_array)
                     ],
+                    hooks=self._hooks,
                 )
             except UpdateFailure:
                 self._stats.update_failures += 1
@@ -392,6 +433,7 @@ class VisionEmbedder(ValueOnlyTable):
                 self.config.max_repair_steps,
                 max_attempts=self.config.max_search_attempts,
                 rng=self._retry_rng,
+                hooks=self._hooks,
             )
         except UpdateFailure as failure:
             self._stats.update_failures += 1
@@ -399,8 +441,8 @@ class VisionEmbedder(ValueOnlyTable):
             self._handle_failure()
             return
         plan.apply(self._table)
-        self._stats.updates += 1
-        self._stats.repair_steps += plan.steps
+        self._updates_counter.value += 1
+        self._repair_steps_counter.value += plan.steps
 
     def _handle_failure(self) -> None:
         """Apply the paper's failure policy (§IV-B "Update Failure")."""
@@ -430,7 +472,9 @@ class VisionEmbedder(ValueOnlyTable):
         ``stats.reconstructions``; wall time accumulates in
         ``stats.reconstruct_seconds`` so throughput experiments can exclude
         it (Fig 6). Raises :class:`ReconstructionFailed` if no seed within
-        the retry budget succeeds.
+        the retry budget succeeds. Attached hooks receive one
+        ``on_reconstruct(seed, method, seconds, success)`` event per call
+        (not per reseed attempt), after the rebuild settles.
         """
         if method not in ("dynamic", "static"):
             raise ValueError("method must be 'dynamic' or 'static'")
@@ -442,6 +486,7 @@ class VisionEmbedder(ValueOnlyTable):
         key_array = np.array(keys, dtype=np.uint64)
         started = time.perf_counter()
         self._in_reconstruct = True
+        succeeded = False
         try:
             for _ in range(self.config.max_reconstruct_attempts):
                 self._stats.reconstructions += 1
@@ -463,11 +508,14 @@ class VisionEmbedder(ValueOnlyTable):
                             keys,
                             values,
                             index_cols,
+                            hooks=self._hooks,
                         )
+                        succeeded = True
                         return
                     except UpdateFailure:
                         continue
                 elif self._try_rebuild(keys, values, index_cols):
+                    succeeded = True
                     return
             raise ReconstructionFailed(
                 f"no working seed within {self.config.max_reconstruct_attempts} "
@@ -475,7 +523,12 @@ class VisionEmbedder(ValueOnlyTable):
             )
         finally:
             self._in_reconstruct = False
-            self._stats.reconstruct_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self._stats.reconstruct_seconds += elapsed
+            if self._hooks is not None:
+                self._hooks.on_reconstruct(
+                    self._seed, method, elapsed, succeeded
+                )
 
     def _try_rebuild(self, keys, values, index_cols) -> bool:
         """One rebuild pass; False if any insert's update fails."""
@@ -495,11 +548,12 @@ class VisionEmbedder(ValueOnlyTable):
                     self.config.max_repair_steps,
                     max_attempts=self.config.max_search_attempts,
                     rng=self._retry_rng,
+                    hooks=self._hooks,
                 )
             except UpdateFailure:
                 return False
             plan.apply(self._table)
-            self._stats.repair_steps += plan.steps
+            self._repair_steps_counter.value += plan.steps
         return True
 
     # ------------------------------------------------------------------

@@ -137,7 +137,7 @@ def _flat_matrix(
 
 
 def _peel_rounds(
-    flat_mat: np.ndarray, width: int
+    flat_mat: np.ndarray, width: int, hooks=None
 ) -> Optional[List[Tuple[np.ndarray, np.ndarray]]]:
     """Round-synchronous vectorised peel.
 
@@ -148,6 +148,10 @@ def _peel_rounds(
     None on a stall (non-empty 2-core). Safe for any-order assignment
     within a round: a peeled key's own cell contains only that key, so no
     other key — same round or later — reads or writes it.
+
+    ``hooks`` (``repro.obs.hooks.WalkHooks``-shaped) receives
+    ``on_peel_round(round_index, peeled)`` per round — the peel-round /
+    degree progression IBLT-style structures are tuned by.
     """
     num_arrays, n = flat_mat.shape
     m = num_arrays * width
@@ -165,6 +169,8 @@ def _peel_rounds(
         own = candidates[first]
         rounds.append((keys, own))
         peeled += keys.size
+        if hooks is not None:
+            hooks.on_peel_round(len(rounds) - 1, int(keys.size))
         retired = flat_mat[:, keys].ravel()
         np.subtract.at(degree, retired, 1)
         np.bitwise_xor.at(agg, retired, np.tile(keys, num_arrays))
@@ -231,6 +237,7 @@ def static_build_arrays(
     keys: Sequence[int],
     values: Sequence[int],
     index_cols: Sequence[Sequence[int]],
+    hooks=None,
 ) -> None:
     """Vectorised static build from pre-hashed column arrays.
 
@@ -238,14 +245,14 @@ def static_build_arrays(
     key ``i``'s index into array ``j`` (one vectorised
     ``HashFamily.indices_batch`` call produces exactly this shape). Raises
     :class:`UpdateFailure` if the peel stalls, leaving both structures
-    untouched.
+    untouched. ``hooks`` receives per-round ``on_peel_round`` events.
     """
     if len(index_cols) != table.num_arrays:
         raise ValueError("need one index column per array")
     if len(keys) == 0:
         return
     flat_mat = _flat_matrix(index_cols, table.width)
-    rounds = _peel_rounds(flat_mat, table.width)
+    rounds = _peel_rounds(flat_mat, table.width, hooks)
     if rounds is None:
         raise UpdateFailure("static peel stalled (non-empty 2-core)")
     assign_in_reverse_flat(table, rounds, flat_mat, values)

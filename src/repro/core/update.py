@@ -123,6 +123,12 @@ class VisionStrategy(UpdateStrategy):
     and with probability ε the walk explores a uniformly random candidate
     instead of the cheapest.
 
+    When the observability layer is enabled
+    (:meth:`VisionEmbedder.set_hooks`), ``subtree_histogram`` receives the
+    number of buckets each recomputed subtree read — the GetCost-cost
+    distribution of §IV-C. It stays ``None`` (and costs one attribute test
+    per miss) otherwise.
+
     With ``use_cache=True`` (the default) each bucket member's subtree
     ``T(k, cell, r) = min_{c ∈ cells(k)∖{cell}} E(c, k, r−1)`` is memoised
     per ``(key, excluded-cell, remaining-depth)`` — the unit every walk
@@ -152,6 +158,18 @@ class VisionStrategy(UpdateStrategy):
         # ``use_cache`` to time the unoptimised reference write path.
         self.shortcut = shortcut
         self._stats = stats
+        # Hot-path counter objects held directly: bumping
+        # ``counter.value`` costs what the old dataclass field did, and
+        # the registry export still sees every increment.
+        self._hits = (
+            stats.counter_for("cost_cache_hits") if stats is not None
+            else None
+        )
+        self._misses = (
+            stats.counter_for("cost_cache_misses") if stats is not None
+            else None
+        )
+        self.subtree_histogram = None
         self._cache = _CostCache()
 
     def choose(
@@ -321,13 +339,13 @@ class VisionStrategy(UpdateStrategy):
                 if gens[flat] != gen:
                     break
             else:
-                if self._stats is not None:
-                    self._stats.cost_cache_hits += 1
+                if self._hits is not None:
+                    self._hits.value += 1
                 if out_deps is not None:
                     out_deps.extend(dep_cells)
                 return entry[0]
-        if self._stats is not None:
-            self._stats.cost_cache_misses += 1
+        if self._misses is not None:
+            self._misses.value += 1
         deps: List[int] = []
         width = assistant.width
         cost = -1
@@ -343,6 +361,8 @@ class VisionStrategy(UpdateStrategy):
         entries[memo_key] = (
             cost, dep_cells, tuple([gens[flat] for flat in dep_cells])
         )
+        if self.subtree_histogram is not None:
+            self.subtree_histogram.observe(len(dep_cells))
         if out_deps is not None:
             out_deps.extend(deps)
         return cost
@@ -361,6 +381,7 @@ class VisionStrategy(UpdateStrategy):
             stats=self._stats,
         )
         twin._cache = self._cache
+        twin.subtree_histogram = self.subtree_histogram
         return twin
 
 
@@ -391,6 +412,7 @@ def _run_repair_walk(
     strategy: UpdateStrategy,
     space_efficiency: float,
     max_steps: int,
+    hooks=None,
 ) -> int:
     """The shared repair loop of both execution modes.
 
@@ -399,6 +421,11 @@ def _run_repair_walk(
     the strategy and modified, re-queueing every other key on that cell.
     Raises :class:`UpdateFailure` when ``max_steps`` items have been
     processed without quiescing.
+
+    ``hooks`` (a :class:`repro.obs.hooks.WalkHooks`-shaped object or None)
+    receives ``on_kick(current, cell, stack_depth)`` after every
+    modification; when None — the default — tracing costs one identity
+    test per kick and nothing else.
 
     The walk never trusts the assistant's *live* bucket sets across its own
     re-queues: ``keys_at`` is snapshotted before iterating, and a queued key
@@ -425,6 +452,8 @@ def _run_repair_walk(
         for neighbour in tuple(assistant.keys_at(choice)):
             if neighbour != current:
                 stack.append((neighbour, choice))
+        if hooks is not None:
+            hooks.on_kick(current, choice, len(stack))
     return steps
 
 
@@ -435,6 +464,8 @@ def find_update_path(
     strategy: UpdateStrategy,
     space_efficiency: float,
     max_steps: int,
+    hooks=None,
+    attempt: int = 0,
 ) -> UpdatePlan:
     """Search for the modification path that makes ``key``'s equation hold.
 
@@ -443,6 +474,10 @@ def find_update_path(
     caller; on :class:`UpdateFailure` the table is untouched, which is what
     lets a failed update retry or fall back to reconstruction without first
     undoing half-applied writes.
+
+    ``hooks`` receives ``on_walk_start``/``on_kick``/``on_walk_end`` for
+    this attempt (``attempt`` labels retries); an already-consistent
+    equation returns without starting a walk and fires no events.
     """
     key_cells = assistant.cells(key)
     v_delta = table.xor_sum(key_cells) ^ assistant.value(key)
@@ -462,10 +497,19 @@ def find_update_path(
     def modify(cell: Cell) -> None:
         path.symmetric_difference_update({cell})
 
-    steps = _run_repair_walk(
-        check_consistent, modify, assistant, key, strategy,
-        space_efficiency, max_steps,
-    )
+    if hooks is not None:
+        hooks.on_walk_start(key, attempt, max_steps)
+    try:
+        steps = _run_repair_walk(
+            check_consistent, modify, assistant, key, strategy,
+            space_efficiency, max_steps, hooks,
+        )
+    except UpdateFailure as failure:
+        if hooks is not None:
+            hooks.on_walk_end(key, False, failure.steps)
+        raise
+    if hooks is not None:
+        hooks.on_walk_end(key, True, steps)
     return UpdatePlan(path=path, v_delta=v_delta, steps=steps)
 
 
@@ -478,6 +522,7 @@ def search_update_path(
     max_steps: int,
     max_attempts: int = 1,
     rng: Optional[random.Random] = None,
+    hooks=None,
 ) -> UpdatePlan:
     """:func:`find_update_path` with randomised retries on a stuck walk.
 
@@ -485,7 +530,8 @@ def search_update_path(
     later attempts use the strategy's :meth:`~UpdateStrategy.retry_variant`
     (randomised tie-breaking + ε-greedy exploration for vision) and a 3×
     budget. Raises :class:`UpdateFailure` carrying the total steps spent if
-    every attempt fails.
+    every attempt fails. ``hooks`` sees each attempt as its own
+    walk-start/walk-end pair, labelled with the attempt number.
     """
     if rng is None:
         rng = random.Random(0)
@@ -501,6 +547,7 @@ def search_update_path(
             plan = find_update_path(
                 table, assistant, key, attempt_strategy,
                 space_efficiency, budget,
+                hooks=hooks, attempt=attempt,
             )
         except UpdateFailure as failure:
             total_steps += failure.steps
@@ -520,6 +567,7 @@ def eager_update(
     strategy: UpdateStrategy,
     space_efficiency: float,
     max_steps: int,
+    hooks=None,
 ) -> int:
     """Algorithm 1/2 executed directly: rewrite cells during the walk.
 
@@ -544,7 +592,7 @@ def eager_update(
 
     return _run_repair_walk(
         check_consistent, modify, assistant, key, strategy,
-        space_efficiency, max_steps,
+        space_efficiency, max_steps, hooks,
     )
 
 

@@ -1,0 +1,94 @@
+"""Observability: metrics registry, walk tracing, exporters.
+
+The operational substrate of the reproduction (docs/observability.md is
+the guide): every table's :class:`~repro.core.stats.TableStats` is a thin
+view over a :class:`MetricsRegistry`; the write path fires tracing hooks
+(:class:`WalkHooks`) that feed histograms (:class:`MetricsHooks`) or a
+post-mortem ring buffer (:class:`WalkTraceRecorder`); exporters render a
+registry as Prometheus text or a JSON snapshot.
+
+This package sits at the bottom of the dependency stack (it imports
+nothing from the rest of ``repro``), so core, bench, and application
+layers may all use it freely.
+
+Quick start::
+
+    from repro import VisionEmbedder
+    from repro.obs import instrument, prometheus_text
+
+    table = VisionEmbedder(capacity=1000, value_bits=8)
+    recorder = instrument(table, traces=64)   # hooks + histograms on
+    table.insert_many((k, k % 256) for k in range(900))
+    print(prometheus_text(table.metrics))     # counters + histograms
+    for trace in recorder.failed():           # post-mortem on failures
+        print(trace.describe())
+"""
+
+from repro.obs.exporters import (
+    json_snapshot,
+    json_text,
+    parse_prometheus_text,
+    prometheus_text,
+    write_sidecar,
+)
+from repro.obs.hooks import (
+    CompositeHooks,
+    MetricsHooks,
+    WalkHooks,
+    WalkTrace,
+    WalkTraceRecorder,
+    default_metrics,
+    default_metrics_enabled,
+    enable_default_metrics,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RegistryCollector,
+    aggregate,
+)
+
+
+def instrument(table, traces: int = 0, keep: str = "failed"):
+    """Attach metrics (and optionally tracing) hooks to ``table``.
+
+    Wires a :class:`MetricsHooks` over the table's own stats registry so
+    one export covers the legacy counters *and* the walk histograms. With
+    ``traces > 0`` a :class:`WalkTraceRecorder` of that capacity is
+    composed in and returned (else ``None``). ``table`` is anything with
+    ``set_hooks``/``stats`` — :class:`~repro.core.embedder.VisionEmbedder`
+    or its concurrent subclass.
+    """
+    metrics_hooks = MetricsHooks(table.stats.registry)
+    if traces > 0:
+        recorder = WalkTraceRecorder(capacity=traces, keep=keep)
+        table.set_hooks(CompositeHooks(metrics_hooks, recorder))
+        return recorder
+    table.set_hooks(metrics_hooks)
+    return None
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RegistryCollector",
+    "aggregate",
+    "WalkHooks",
+    "MetricsHooks",
+    "WalkTrace",
+    "WalkTraceRecorder",
+    "CompositeHooks",
+    "default_metrics",
+    "default_metrics_enabled",
+    "enable_default_metrics",
+    "instrument",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "json_snapshot",
+    "json_text",
+    "write_sidecar",
+]

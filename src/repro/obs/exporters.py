@@ -1,0 +1,129 @@
+"""Serialise a :class:`~repro.obs.registry.MetricsRegistry`.
+
+Two formats, both documented (with samples) in docs/observability.md:
+
+- **Prometheus text exposition** (:func:`prometheus_text`) — ``# HELP`` /
+  ``# TYPE`` comments, plain samples for counters and gauges, cumulative
+  ``_bucket{le=...}`` / ``_sum`` / ``_count`` series for histograms.
+  :func:`parse_prometheus_text` is the minimal inverse used by tests and
+  the CI smoke step to assert a sidecar parses.
+- **JSON snapshot** (:func:`json_snapshot` / :func:`json_text`) — one
+  self-describing document (``format`` marker ``repro-metrics/1``) that
+  keeps histogram buckets non-cumulative for direct plotting.
+
+:func:`write_sidecar` writes both next to a results file — the metrics
+sidecar every benchmark run emits (see ``repro.bench.harness``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, List, Tuple
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+JSON_FORMAT = "repro-metrics/1"
+
+
+def _format_number(value) -> str:
+    """Prometheus-friendly rendering: integral values without a dot."""
+    as_float = float(value)
+    if math.isinf(as_float):
+        return "+Inf" if as_float > 0 else "-Inf"
+    if as_float == int(as_float):
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.name} {_format_number(metric.value)}")
+        elif isinstance(metric, Histogram):
+            for bound, cumulative in metric.cumulative():
+                lines.append(
+                    f'{metric.name}_bucket{{le="{_format_number(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{metric.name}_sum {_format_number(metric.sum)}"
+            )
+            lines.append(f"{metric.name}_count {metric.count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Parse exposition text back into ``{sample_name[labels]: value}``.
+
+    Good enough for round-trip tests and sidecar validation; not a general
+    Prometheus parser (no escapes inside label values, no timestamps).
+    """
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            raise ValueError(f"unparseable sample line: {line!r}")
+        samples[name] = float(value)
+    return samples
+
+
+def json_snapshot(registry: MetricsRegistry) -> dict:
+    """The registry as one JSON-ready dict (non-cumulative buckets)."""
+    counters: Dict[str, dict] = {}
+    gauges: Dict[str, dict] = {}
+    histograms: Dict[str, dict] = {}
+    for metric in registry.metrics():
+        entry = {"help": metric.help, "unit": metric.unit}
+        if isinstance(metric, Counter):
+            counters[metric.name] = {"value": metric.value, **entry}
+        elif isinstance(metric, Gauge):
+            gauges[metric.name] = {"value": metric.value, **entry}
+        elif isinstance(metric, Histogram):
+            histograms[metric.name] = {
+                "buckets": [
+                    {"le": bound, "count": count}
+                    for bound, count in zip(metric.bounds, metric.counts)
+                ] + [{"le": "+Inf", "count": metric.counts[-1]}],
+                "count": metric.count,
+                "sum": metric.sum,
+                **entry,
+            }
+    return {
+        "format": JSON_FORMAT,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def json_text(registry: MetricsRegistry) -> str:
+    return json.dumps(json_snapshot(registry), indent=2) + "\n"
+
+
+def write_sidecar(registry: MetricsRegistry, path: str) -> Tuple[str, str]:
+    """Write ``<base>.metrics.json`` and ``<base>.metrics.prom``.
+
+    ``path`` is the results file the sidecar accompanies (a trailing
+    ``.json``/``.csv``/``.txt`` extension is stripped to form the base) or
+    a bare base path. Returns ``(json_path, prom_path)``.
+    """
+    base, ext = os.path.splitext(path)
+    if ext not in (".json", ".csv", ".txt", ".prom"):
+        base = path
+    json_path = base + ".metrics.json"
+    prom_path = base + ".metrics.prom"
+    with open(json_path, "w") as handle:
+        handle.write(json_text(registry))
+    with open(prom_path, "w") as handle:
+        handle.write(prometheus_text(registry))
+    return json_path, prom_path

@@ -95,6 +95,14 @@ class ValueOnlyTable(ABC):
             self.insert(key, value)
 
     @property
+    def metrics(self):
+        """The :class:`repro.obs.registry.MetricsRegistry` behind
+        :attr:`stats` — export it with :func:`repro.obs.prometheus_text`
+        or :func:`repro.obs.json_snapshot`. Every table gets this for
+        free because ``TableStats`` is a view over a registry."""
+        return self.stats.registry
+
+    @property
     def failure_events(self) -> int:
         """Total rebuild passes forced by failures, including any internal
         components (e.g. Ludo's locator). Fig 4's metric."""

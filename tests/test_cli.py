@@ -1,8 +1,11 @@
 """CLI behaviour: listing, running, error handling."""
 
+import json
+
 import pytest
 
 from repro.bench.cli import main
+from repro.obs import parse_prometheus_text
 
 
 class TestCli:
@@ -31,3 +34,23 @@ class TestCli:
         assert main(["table1", "theory"]) == 0
         out = capsys.readouterr().out
         assert "table1" in out and "theory" in out
+
+    def test_metrics_out_writes_parsing_sidecars(self, tmp_path, capsys):
+        base = tmp_path / "run"
+        assert main(["fig4", "--scale", "0.05",
+                     "--metrics-out", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "run.metrics.json" in out and "run.metrics.prom" in out
+        with open(base.with_suffix(".metrics.json")) as handle:
+            snapshot = json.load(handle)
+        assert snapshot["format"] == "repro-metrics/1"
+        # fig4 drives tables through dynamic inserts, so the aggregated
+        # walk histogram must have samples and match the counters.
+        walk = snapshot["histograms"]["repro_walk_steps"]
+        assert walk["count"] > 0
+        with open(base.with_suffix(".metrics.prom")) as handle:
+            samples = parse_prometheus_text(handle.read())
+        assert samples["repro_walk_steps_count"] == walk["count"]
+        assert samples["repro_updates_total"] == (
+            snapshot["counters"]["repro_updates_total"]["value"]
+        )

@@ -1,0 +1,124 @@
+"""Exporters: Prometheus text stability (golden file), JSON, sidecars."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.embedder import VisionEmbedder
+from repro.core.stats import TableStats
+from repro.obs import (
+    instrument,
+    json_snapshot,
+    json_text,
+    parse_prometheus_text,
+    prometheus_text,
+    write_sidecar,
+)
+from repro.obs.registry import MetricsRegistry
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                      "exporter_sample.prom")
+
+
+def sample_registry() -> MetricsRegistry:
+    """A small fixed registry: one of each metric kind, known values."""
+    registry = MetricsRegistry(collectable=False)
+    registry.counter("repro_updates_total",
+                     help="Insert/update/delete operations applied").inc(42)
+    registry.gauge("repro_largest_batch",
+                   help="Largest single insert batch", unit="keys").set(7)
+    hist = registry.histogram("repro_walk_steps", bounds=(1, 2, 4),
+                              help="Repair steps per walk attempt",
+                              unit="steps")
+    for value in (1, 1, 3, 9):
+        hist.observe(value)
+    return registry
+
+
+class TestPrometheusText:
+    def test_matches_golden_file(self):
+        # The exposition format is an interchange contract: any change
+        # must be deliberate (regenerate tests/golden/exporter_sample.prom
+        # and say why in the commit).
+        with open(GOLDEN) as handle:
+            expected = handle.read()
+        assert prometheus_text(sample_registry()) == expected
+
+    def test_histogram_series_are_cumulative(self):
+        samples = parse_prometheus_text(prometheus_text(sample_registry()))
+        assert samples['repro_walk_steps_bucket{le="1"}'] == 2
+        assert samples['repro_walk_steps_bucket{le="2"}'] == 2
+        assert samples['repro_walk_steps_bucket{le="4"}'] == 3
+        assert samples['repro_walk_steps_bucket{le="+Inf"}'] == 4
+        assert samples["repro_walk_steps_sum"] == 14
+        assert samples["repro_walk_steps_count"] == 4
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("justonetoken\n")
+
+
+class TestJsonSnapshot:
+    def test_round_trips_through_json(self):
+        registry = sample_registry()
+        snapshot = json.loads(json_text(registry))
+        assert snapshot == json_snapshot(registry)
+        assert snapshot["format"] == "repro-metrics/1"
+
+    def test_buckets_non_cumulative_with_inf_entry(self):
+        snapshot = json_snapshot(sample_registry())
+        walk = snapshot["histograms"]["repro_walk_steps"]
+        assert [bucket["count"] for bucket in walk["buckets"]] == [2, 0, 1, 1]
+        assert walk["buckets"][-1]["le"] == "+Inf"
+        assert walk["count"] == 4 and walk["sum"] == 14
+
+    def test_counters_and_gauges_sections(self):
+        snapshot = json_snapshot(sample_registry())
+        assert snapshot["counters"]["repro_updates_total"]["value"] == 42
+        assert snapshot["gauges"]["repro_largest_batch"]["value"] == 7
+        assert snapshot["gauges"]["repro_largest_batch"]["unit"] == "keys"
+
+
+class TestWriteSidecar:
+    def test_strips_results_extension(self, tmp_path):
+        out = tmp_path / "run.json"
+        json_path, prom_path = write_sidecar(sample_registry(), str(out))
+        assert json_path == str(tmp_path / "run.metrics.json")
+        assert prom_path == str(tmp_path / "run.metrics.prom")
+
+    def test_bare_base_path_kept(self, tmp_path):
+        json_path, _ = write_sidecar(sample_registry(),
+                                     str(tmp_path / "run"))
+        assert json_path == str(tmp_path / "run.metrics.json")
+
+    def test_both_files_parse(self, tmp_path):
+        json_path, prom_path = write_sidecar(sample_registry(),
+                                             str(tmp_path / "run.json"))
+        with open(json_path) as handle:
+            assert json.load(handle)["format"] == "repro-metrics/1"
+        with open(prom_path) as handle:
+            assert parse_prometheus_text(handle.read())
+
+
+class TestTableExports:
+    def test_stats_counters_export_under_expected_names(self):
+        table = VisionEmbedder(capacity=300, value_bits=8, seed=3)
+        instrument(table)
+        table.insert_many((key, key % 256) for key in range(250))
+        samples = parse_prometheus_text(prometheus_text(table.metrics))
+        stats = table.stats
+        assert samples["repro_updates_total"] == stats.updates == 250
+        assert samples["repro_update_failures_total"] == stats.update_failures
+        assert samples["repro_reconstructions_total"] == stats.reconstructions
+        assert samples["repro_repair_steps_total"] == stats.repair_steps
+        assert samples["repro_batch_inserts_total"] == stats.batch_inserts
+        assert samples["repro_batch_keys_total"] == stats.batch_keys
+        assert samples["repro_largest_batch"] == stats.largest_batch
+
+    def test_plain_stats_export_without_instrumentation(self):
+        # Even with no hooks, TableStats-as-view makes metrics exportable.
+        stats = TableStats(updates=3, repair_steps=5)
+        samples = parse_prometheus_text(prometheus_text(stats.registry))
+        assert samples["repro_updates_total"] == 3
+        assert samples["repro_repair_steps_total"] == 5

@@ -1,0 +1,196 @@
+"""Metrics registry: bucket math, registration rules, merging, threads."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    RegistryCollector,
+    WALK_STEP_BUCKETS,
+    aggregate,
+)
+
+
+class TestHistogramBuckets:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        hist = Histogram("h", bounds=(1, 2, 4))
+        # Prometheus semantics: le="b" includes b itself.
+        assert hist.bucket_for(0) == 0
+        assert hist.bucket_for(1) == 0
+        assert hist.bucket_for(1.5) == 1
+        assert hist.bucket_for(2) == 1
+        assert hist.bucket_for(4) == 2
+        assert hist.bucket_for(4.001) == 3  # +Inf bucket
+
+    def test_observe_fills_counts_sum_count(self):
+        hist = Histogram("h", bounds=(1, 2, 4))
+        for value in (0, 1, 2, 3, 100):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == 106
+
+    def test_cumulative_ends_at_inf_with_total(self):
+        hist = Histogram("h", bounds=(1, 2))
+        for value in (1, 1, 2, 9):
+            hist.observe(value)
+        cumulative = hist.cumulative()
+        assert cumulative == [(1.0, 2), (2.0, 3), (float("inf"), 4)]
+
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1, 1, 2))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_standard_bucket_constants_are_valid(self):
+        # The catalogue constants must themselves satisfy the invariant.
+        Histogram("h", bounds=WALK_STEP_BUCKETS)
+
+
+class TestRegistration:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry(collectable=False)
+        first = registry.counter("repro_x_total", help="x")
+        second = registry.counter("repro_x_total")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry(collectable=False)
+        registry.counter("repro_x_total")
+        with pytest.raises(TypeError):
+            registry.gauge("repro_x_total")
+        with pytest.raises(TypeError):
+            registry.histogram("repro_x_total", bounds=(1, 2))
+
+    def test_histogram_bounds_conflict_raises(self):
+        registry = MetricsRegistry(collectable=False)
+        registry.histogram("repro_h", bounds=(1, 2))
+        assert registry.histogram("repro_h", bounds=(1, 2)) is not None
+        with pytest.raises(ValueError):
+            registry.histogram("repro_h", bounds=(1, 2, 4))
+
+    def test_invalid_name_rejected(self):
+        registry = MetricsRegistry(collectable=False)
+        for bad in ("", "1starts_with_digit", "has space", "has-dash"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+    def test_counter_rejects_negative(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry(collectable=False)
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(7)
+        hist = registry.histogram("h", bounds=(1, 2))
+        hist.observe(1)
+        registry.reset()
+        assert registry.get("c").value == 0
+        assert registry.get("g").value == 0
+        assert hist.counts == [0, 0, 0]
+        assert hist.count == 0 and hist.sum == 0
+
+
+class TestAggregation:
+    def _registry(self, counter, gauge, samples):
+        registry = MetricsRegistry(collectable=False)
+        registry.counter("c").inc(counter)
+        registry.gauge("g").set(gauge)
+        hist = registry.histogram("h", bounds=(1, 2))
+        for sample in samples:
+            hist.observe(sample)
+        return registry
+
+    def test_counters_sum_gauges_max_histograms_add(self):
+        merged = aggregate([
+            self._registry(3, 10, [1, 5]),
+            self._registry(4, 2, [2]),
+        ])
+        assert merged.get("c").value == 7
+        assert merged.get("g").value == 10
+        assert merged.get("h").counts == [1, 1, 1]
+        assert merged.get("h").count == 3
+        assert merged.get("h").sum == 8
+
+    def test_merge_copies_unknown_metrics(self):
+        target = MetricsRegistry(collectable=False)
+        source = self._registry(1, 1, [1])
+        target.merge_from(source)
+        assert "c" in target and "g" in target and "h" in target
+        # and the copies are independent objects
+        source.get("c").inc(10)
+        assert target.get("c").value == 1
+
+    def test_merge_bounds_mismatch_raises(self):
+        target = MetricsRegistry(collectable=False)
+        target.histogram("h", bounds=(1, 2, 4))
+        with pytest.raises(ValueError):
+            target.merge_from(self._registry(0, 0, []))
+
+
+class TestRegistryCollector:
+    def test_captures_registries_created_in_scope(self):
+        before = MetricsRegistry()
+        with RegistryCollector() as collector:
+            inside = MetricsRegistry()
+            inside.counter("c").inc(2)
+        after = MetricsRegistry()
+        captured = collector.registries()
+        assert inside in captured
+        assert before not in captured and after not in captured
+        assert collector.aggregate().get("c").value == 2
+
+    def test_nested_collectors_both_capture(self):
+        with RegistryCollector() as outer:
+            with RegistryCollector() as inner:
+                registry = MetricsRegistry()
+        assert registry in outer.registries()
+        assert registry in inner.registries()
+
+    def test_non_collectable_registries_invisible(self):
+        with RegistryCollector() as collector:
+            MetricsRegistry(collectable=False)
+        assert collector.registries() == []
+
+
+class TestThreadSafety:
+    def test_concurrent_inc_and_observe_are_exact(self):
+        registry = MetricsRegistry(collectable=False)
+        counter = registry.counter("c")
+        hist = registry.histogram("h", bounds=(1, 2, 4))
+        rounds, workers = 2000, 8
+
+        def hammer():
+            for i in range(rounds):
+                counter.inc()
+                hist.observe(i % 5)
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == rounds * workers
+        assert hist.count == rounds * workers
+        assert sum(hist.counts) == rounds * workers
+
+    def test_concurrent_get_or_create_single_instance(self):
+        registry = MetricsRegistry(collectable=False)
+        seen = []
+
+        def register():
+            seen.append(registry.counter("c"))
+
+        threads = [threading.Thread(target=register) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(map(id, seen))) == 1

@@ -28,6 +28,49 @@ class TestTableStats:
         assert stats.repair_steps == 0
         assert stats.update_failures == 0
 
+    # -- the registry-view contract (docs/observability.md) -------------
+
+    def test_fields_are_views_over_registry_counters(self):
+        stats = TableStats(updates=3)
+        counter = stats.registry.get("repro_updates_total")
+        assert counter.value == 3
+        stats.updates += 1          # attribute write reaches the registry
+        assert counter.value == 4
+        counter.inc(2)              # registry write reaches the attribute
+        assert stats.updates == 6
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            TableStats(walks=1)
+
+    def test_equality_and_repr(self):
+        stats = TableStats(updates=2, repair_steps=5)
+        assert stats == TableStats(updates=2, repair_steps=5)
+        assert stats != TableStats(updates=2, repair_steps=6)
+        assert "updates=2" in repr(stats)
+
+    def test_note_batch_counts_and_histogram(self):
+        stats = TableStats()
+        stats.note_batch(10)
+        stats.note_batch(3)
+        assert stats.batch_inserts == 2
+        assert stats.batch_keys == 13
+        assert stats.largest_batch == 10
+        assert stats.registry.get("repro_batch_size").count == 2
+
+    def test_cost_cache_hit_rate(self):
+        stats = TableStats()
+        assert stats.cost_cache_hit_rate == 0.0
+        stats.cost_cache_hits = 3
+        stats.cost_cache_misses = 1
+        assert stats.cost_cache_hit_rate == pytest.approx(0.75)
+
+    def test_counter_for_hot_path_handles(self):
+        stats = TableStats()
+        handle = stats.counter_for("cost_cache_hits")
+        handle.value += 5           # the raw single-writer fast path
+        assert stats.cost_cache_hits == 5
+
 
 class TestWorkloadHelpers:
     def test_make_pairs_distinct_keys(self):
