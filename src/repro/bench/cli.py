@@ -6,12 +6,14 @@ import argparse
 import sys
 import time
 from contextlib import nullcontext
-from typing import List, Optional
+from typing import ContextManager, List, Optional
 
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.export import results_to_csv, results_to_json
 from repro.bench.harness import metrics_sidecar
 from repro.bench.regression import compare_run
+from repro.bench.reporting import ExperimentResult
+from repro.obs.registry import RegistryCollector
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -82,12 +84,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    sidecar = (
+    sidecar: ContextManager[Optional[RegistryCollector]] = (
         metrics_sidecar(args.metrics_out)
         if args.metrics_out is not None
         else nullcontext()
     )
-    results = []
+    results: List[ExperimentResult] = []
     with sidecar as collector:
         for name in names:
             started = time.perf_counter()

@@ -1,0 +1,63 @@
+"""Project-specific static analysis: ``python -m repro.check``.
+
+The repository has three load-bearing promises nothing else verifies
+mechanically — the XOR invariant is only mutated through sanctioned write
+paths, the observability hooks stay zero-cost when disabled on the
+vectorised hot paths, and the concurrency layer follows a single lock
+discipline. This package enforces them (plus general hygiene) as an
+AST-based linter with repo-specific rules:
+
+- **R1** (``rules_writes``) — value-table write encapsulation,
+- **R2** (``rules_hotpath``) — purity of ``# repro: hotpath`` functions,
+- **R3** (``rules_locks``) — RWLock context-manager + ordering
+  discipline (dynamic counterpart: :mod:`repro.check.lockset`),
+- **R4** (``rules_hygiene``) — mutable defaults, runtime asserts,
+  ``__all__`` drift.
+
+Suppressions are per-line (``# repro: noqa[R101] -- why``) and require a
+justification; pre-existing debt is ratcheted down through a baseline
+file (:mod:`repro.check.baseline`). Rule catalogue and workflow:
+docs/static_analysis.md.
+"""
+
+from repro.check.baseline import (
+    Baseline,
+    BaselineEntry,
+    load_baseline,
+    write_baseline,
+)
+from repro.check.cli import main
+from repro.check.engine import (
+    CheckConfig,
+    CheckedFile,
+    RULES,
+    check_paths,
+    check_source,
+    iter_python_files,
+    module_relpath,
+)
+from repro.check.lockset import LockDisciplineError, LocksetRWLock
+from repro.check.pragmas import PragmaIndex, Suppression, parse_pragmas
+from repro.check.violations import RULE_CATALOGUE, Violation
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "CheckConfig",
+    "CheckedFile",
+    "LockDisciplineError",
+    "LocksetRWLock",
+    "PragmaIndex",
+    "RULES",
+    "RULE_CATALOGUE",
+    "Suppression",
+    "Violation",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+    "load_baseline",
+    "main",
+    "module_relpath",
+    "parse_pragmas",
+    "write_baseline",
+]

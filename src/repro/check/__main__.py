@@ -1,0 +1,8 @@
+"""``python -m repro.check`` — run the project static-analysis suite."""
+
+import sys
+
+from repro.check.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

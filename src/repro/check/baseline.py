@@ -1,0 +1,129 @@
+"""Baseline (ratchet) support for ``repro.check``.
+
+A baseline file grandfathers *existing* violations so the checker can be
+turned on strict for new code while old debt is paid down incrementally.
+The contract is a one-way ratchet:
+
+- A violation whose fingerprint appears in the baseline is not reported.
+- A baseline entry that no longer matches anything is *stale* and fails
+  the run — the file must shrink as debt is fixed, never silently rot.
+- Every entry carries a human ``note`` explaining why it was grandfathered
+  rather than fixed; entries without one fail the run.
+
+Fingerprints hash (path, rule, source line), so baselined findings
+survive unrelated edits but stop matching when the offending line itself
+changes — at which point the author must fix it or re-justify.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.check.violations import Violation
+
+__all__ = ["BaselineEntry", "Baseline", "load_baseline", "write_baseline"]
+
+_FORMAT = "repro-check-baseline/1"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered violation."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    note: str
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline file."""
+
+    entries: List[BaselineEntry]
+    source: str = ""
+
+    def index(self) -> Dict[str, BaselineEntry]:
+        return {entry.fingerprint: entry for entry in self.entries}
+
+    def apply(
+        self, violations: List[Violation]
+    ) -> Tuple[List[Violation], List[BaselineEntry], List[BaselineEntry]]:
+        """Split ``violations`` against the baseline.
+
+        Returns ``(surviving, matched, stale)``: violations not covered
+        by any entry, the entries that matched something, and the entries
+        that matched nothing (stale — the ratchet must advance).
+        """
+        by_fingerprint = self.index()
+        surviving: List[Violation] = []
+        matched: Dict[str, BaselineEntry] = {}
+        for violation in violations:
+            entry = by_fingerprint.get(violation.fingerprint())
+            if entry is not None and entry.rule == violation.rule:
+                matched[entry.fingerprint] = entry
+            else:
+                surviving.append(violation)
+        stale = [
+            entry for entry in self.entries
+            if entry.fingerprint not in matched
+        ]
+        return surviving, list(matched.values()), stale
+
+    def unjustified(self) -> List[BaselineEntry]:
+        return [entry for entry in self.entries if not entry.note.strip()]
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; raises ValueError on a malformed one."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise ValueError(
+            f"{path}: not a {_FORMAT} file (regenerate with "
+            "--write-baseline)"
+        )
+    raw_entries = payload.get("entries", [])
+    if not isinstance(raw_entries, list):
+        raise ValueError(f"{path}: 'entries' must be a list")
+    entries: List[BaselineEntry] = []
+    for raw in raw_entries:
+        if not isinstance(raw, dict):
+            raise ValueError(f"{path}: baseline entries must be objects")
+        entries.append(BaselineEntry(
+            fingerprint=str(raw.get("fingerprint", "")),
+            rule=str(raw.get("rule", "")),
+            path=str(raw.get("path", "")),
+            note=str(raw.get("note", "")),
+        ))
+    return Baseline(entries=entries, source=str(path))
+
+
+def write_baseline(path: Path, violations: List[Violation]) -> int:
+    """Serialise ``violations`` as a fresh baseline; returns the count.
+
+    Notes are written empty — the author must fill in a justification for
+    every entry before the checker accepts the file (deliberate friction:
+    a baseline is a debt ledger, not a mute button).
+    """
+    payload = {
+        "format": _FORMAT,
+        "entries": [
+            {
+                "fingerprint": violation.fingerprint(),
+                "rule": violation.rule,
+                "path": violation.path,
+                "line": violation.line,
+                "snippet": violation.snippet,
+                "note": "",
+            }
+            for violation in violations
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return len(violations)

@@ -1,0 +1,152 @@
+"""Command-line entry point: ``python -m repro.check``.
+
+Exit codes: 0 — clean (possibly via justified suppressions/baseline);
+1 — violations, stale baseline entries, or unjustified baseline entries;
+2 — usage errors (unknown path, malformed baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.check.baseline import load_baseline, write_baseline
+from repro.check.engine import CheckConfig, check_paths
+from repro.check.violations import RULE_CATALOGUE, Violation
+
+__all__ = ["main"]
+
+_DEFAULT_BASELINE = "check_baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description=(
+            "Project-specific static analysis: value-table write "
+            "encapsulation (R1), hot-path purity (R2), lock discipline "
+            "(R3), and general hygiene (R4). See docs/static_analysis.md."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=(
+            "baseline (ratchet) file; default: use "
+            f"{_DEFAULT_BASELINE} when it exists"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report the full debt)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help=(
+            "write the current violations to the baseline file and exit; "
+            "every entry still needs a hand-written justification note"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _render_text(violations: List[Violation]) -> str:
+    lines = [violation.render() for violation in violations]
+    lines.append(
+        f"{len(violations)} violation(s) in "
+        f"{len({v.path for v in violations})} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(violations: List[Violation], stale: int) -> str:
+    return json.dumps(
+        {
+            "format": "repro-check/1",
+            "count": len(violations),
+            "stale_baseline_entries": stale,
+            "violations": [v.to_dict() for v in violations],
+        },
+        indent=2,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the checker; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule, description in sorted(RULE_CATALOGUE.items()):
+            print(f"{rule}  {description}")
+        return 0
+
+    paths = [Path(raw) for raw in args.paths]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    config = CheckConfig()
+    violations = check_paths(paths, config)
+
+    baseline_path = Path(args.baseline or _DEFAULT_BASELINE)
+    if args.write_baseline:
+        count = write_baseline(baseline_path, violations)
+        print(
+            f"wrote {count} entr{'y' if count == 1 else 'ies'} to "
+            f"{baseline_path} — add a justification note to each before "
+            "committing"
+        )
+        return 0
+
+    stale_count = 0
+    if not args.no_baseline and baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        unjustified = baseline.unjustified()
+        if unjustified:
+            for entry in unjustified:
+                print(
+                    f"{baseline_path}: entry {entry.fingerprint} "
+                    f"({entry.rule} in {entry.path}) has no justification "
+                    "note",
+                    file=sys.stderr,
+                )
+            return 1
+        violations, _, stale = baseline.apply(violations)
+        stale_count = len(stale)
+        for entry in stale:
+            print(
+                f"{baseline_path}: stale entry {entry.fingerprint} "
+                f"({entry.rule} in {entry.path}) no longer matches — "
+                "delete it (the ratchet only tightens)",
+                file=sys.stderr,
+            )
+
+    if args.format == "json":
+        print(_render_json(violations, stale_count))
+    elif violations:
+        print(_render_text(violations))
+    else:
+        print("repro.check: clean")
+    return 1 if (violations or stale_count) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

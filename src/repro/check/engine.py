@@ -1,0 +1,270 @@
+"""The ``repro.check`` engine: file model, rule registry, orchestration.
+
+A :class:`CheckedFile` bundles everything a rule needs — the parsed AST
+with parent links, the raw source lines, and the file's pragma index. The
+engine parses each file once, runs every registered rule, applies ``noqa``
+suppressions, and reports suppressions that never fired (R003) so stale
+escapes cannot accumulate.
+
+Rules are plain functions ``(CheckedFile, CheckConfig) -> Iterable[Violation]``
+registered in :data:`RULES`; see the ``rules_*`` modules for the
+project-specific rule set and docs/static_analysis.md for the catalogue.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.check.pragmas import PragmaIndex, parse_pragmas
+from repro.check.violations import Violation
+
+__all__ = [
+    "CheckConfig",
+    "CheckedFile",
+    "RULES",
+    "check_source",
+    "check_paths",
+    "iter_python_files",
+    "module_relpath",
+]
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Tunable knobs of the rule set (defaults encode repo policy)."""
+
+    #: modules allowed to write value-table cell storage directly (R101).
+    #: The storage owners themselves plus the sanctioned write paths of
+    #: PAPER.md §update; baselines own independent storage (prefix below).
+    value_table_writers: Tuple[str, ...] = (
+        "repro/core/value_table.py",
+        "repro/core/packed_table.py",
+        "repro/core/update.py",
+        "repro/core/static_build.py",
+        "repro/core/embedder.py",
+    )
+    value_table_writer_prefixes: Tuple[str, ...] = ("repro/baselines/",)
+    #: private attributes holding raw cell storage
+    storage_attrs: Tuple[str, ...] = ("_cells", "_words")
+    #: mutating methods of the value-table surface
+    storage_mutators: Tuple[str, ...] = (
+        "xor", "set", "load_dense", "clear", "fill",
+    )
+    #: classes whose bodies may call raw acquire_*/release_* (R301) —
+    #: the lock implementations and their context-manager helpers.
+    lock_owner_classes: Tuple[str, ...] = ("RWLock", "LocksetRWLock")
+    raw_lock_methods: Tuple[str, ...] = (
+        "acquire_read", "release_read", "acquire_write", "release_write",
+    )
+    #: function names in which ``assert`` is a sanctioned debug validator
+    assert_allowed_pattern: str = r"check|invariant|consisten|verify"
+    #: test modules are skipped entirely when scanning a tree
+    skip_dir_names: Tuple[str, ...] = ("__pycache__",)
+
+    def allows_table_writes(self, rel: str) -> bool:
+        """True if ``rel`` is a sanctioned value-table write-path module."""
+        return (
+            any(rel.endswith(mod) for mod in self.value_table_writers)
+            or any(prefix in rel
+                   for prefix in self.value_table_writer_prefixes)
+        )
+
+
+class CheckedFile:
+    """One parsed source file with everything the rules consume."""
+
+    def __init__(self, rel: str, source: str, tree: ast.Module,
+                 pragmas: PragmaIndex) -> None:
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.pragmas = pragmas
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[child] = node
+
+    # -- navigation ----------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The chain of enclosing nodes, innermost first."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_classes(self, node: ast.AST) -> List[str]:
+        """Names of the classes lexically enclosing ``node``, innermost
+        first."""
+        return [
+            ancestor.name for ancestor in self.ancestors(node)
+            if isinstance(ancestor, ast.ClassDef)
+        ]
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    # -- pragma helpers ------------------------------------------------
+
+    def is_hotpath(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        """True if the def carries a ``# repro: hotpath`` pragma."""
+        first_line = (
+            node.decorator_list[0].lineno if node.decorator_list
+            else node.lineno
+        )
+        candidates = {node.lineno, first_line - 1}
+        return bool(candidates & self.pragmas.hotpath_lines)
+
+    def hotpath_functions(
+        self,
+    ) -> List[ast.FunctionDef | ast.AsyncFunctionDef]:
+        return [
+            node for node in ast.walk(self.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and self.is_hotpath(node)
+        ]
+
+    # -- reporting helpers ---------------------------------------------
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def violation(self, rule: str, node: ast.AST, message: str) -> Violation:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Violation(
+            rule=rule, path=self.rel, line=line, col=col,
+            message=message, snippet=self.snippet(line),
+        )
+
+
+Rule = Callable[[CheckedFile, CheckConfig], Iterable[Violation]]
+
+#: the registered rule set, populated by the ``rules_*`` modules below.
+RULES: List[Rule] = []
+
+
+def register(rule: Rule) -> Rule:
+    """Decorator adding a rule function to :data:`RULES`."""
+    RULES.append(rule)
+    return rule
+
+
+def _load_rules() -> None:
+    # Imported for their ``@register`` side effects; at the bottom so the
+    # rule modules can import ``register`` from here.
+    from repro.check import (  # noqa: F401  (registration side effect)
+        rules_hotpath,
+        rules_hygiene,
+        rules_locks,
+        rules_writes,
+    )
+
+
+def check_source(
+    source: str,
+    rel: str,
+    config: Optional[CheckConfig] = None,
+) -> List[Violation]:
+    """Run every rule over one in-memory source file.
+
+    ``rel`` is the module-relative posix path (``repro/core/update.py``);
+    the R101/R301 allowlists match against it. Returns the surviving
+    violations sorted by location — pragma problems first-class among
+    them, suppressed findings removed, unused suppressions added (R003).
+    """
+    if config is None:
+        config = CheckConfig()
+    if not RULES:
+        _load_rules()
+    pragmas = parse_pragmas(source, rel)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Violation(
+            rule="R000", path=rel, line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            message=f"syntax error: {exc.msg}",
+        )]
+    checked = CheckedFile(rel, source, tree, pragmas)
+    found: List[Violation] = list(pragmas.problems)
+    for rule in RULES:
+        for violation in rule(checked, config):
+            if violation.rule[1] != "0" and pragmas.suppresses(
+                violation.rule, violation.line
+            ):
+                continue
+            found.append(violation)
+    for suppression in pragmas.unused():
+        found.append(Violation(
+            rule="R003", path=rel, line=suppression.line, col=1,
+            message=(
+                "suppression never fired (noqa"
+                f"[{','.join(suppression.codes)}]) — remove it"
+            ),
+            snippet=checked.snippet(suppression.line),
+        ))
+    return sorted(found, key=lambda v: (v.path, v.line, v.rule))
+
+
+def module_relpath(path: Path) -> str:
+    """Normalise a filesystem path to the module-relative form.
+
+    Everything up to and including a leading ``src/`` component is
+    dropped, so ``src/repro/core/update.py`` and an absolute variant both
+    become ``repro/core/update.py`` (what the allowlists match against).
+    """
+    posix = path.as_posix()
+    marker = "src/"
+    index = posix.rfind(marker)
+    if index != -1:
+        return posix[index + len(marker):]
+    return posix.lstrip("./")
+
+
+def iter_python_files(
+    paths: Iterable[Path], config: CheckConfig
+) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to check."""
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if any(part in config.skip_dir_names
+                       for part in candidate.parts):
+                    continue
+                yield candidate
+        else:
+            yield path
+
+
+def check_paths(
+    paths: Iterable[Path],
+    config: Optional[CheckConfig] = None,
+) -> List[Violation]:
+    """Check every python file under ``paths`` (files or directories)."""
+    if config is None:
+        config = CheckConfig()
+    violations: List[Violation] = []
+    for path in iter_python_files(paths, config):
+        source = path.read_text(encoding="utf-8")
+        violations.extend(
+            check_source(source, module_relpath(path), config)
+        )
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))

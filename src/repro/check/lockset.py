@@ -1,0 +1,149 @@
+"""Dynamic lock-discipline checking: the runtime counterpart of rule R3.
+
+The static rules in :mod:`repro.check.rules_locks` prove call sites go
+through the context-manager helpers; this module checks what actually
+*happens* at runtime. :class:`LocksetRWLock` is a drop-in
+:class:`~repro.core.concurrent.RWLock` that records, per thread, every
+acquire/release event and raises :class:`LockDisciplineError`
+synchronously at the misuse site:
+
+- releasing a mode the thread does not hold,
+- upgrading read → write while still holding the read lock (guaranteed
+  deadlock under writer preference),
+- write re-entrancy (a second ``acquire_write`` on the owning thread
+  self-deadlocks on a non-reentrant lock),
+- re-entrant reads while a writer is queued (the writer-preference gate
+  blocks the second read forever — see the test suite's edge cases).
+
+``assert_quiescent()`` verifies every thread has unwound to a balanced
+lockset — the standard end-of-test assertion in
+``tests/test_concurrent.py``.
+
+Detection happens *before* delegating to the real primitive, so a test
+observes a typed error instead of a hang.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.core.concurrent import RWLock
+
+__all__ = ["LockDisciplineError", "LocksetRWLock"]
+
+
+class LockDisciplineError(AssertionError):
+    """A thread violated the RWLock usage discipline."""
+
+
+class LocksetRWLock(RWLock):
+    """An :class:`RWLock` that enforces per-thread lockset discipline.
+
+    ``history`` records ``(thread_name, event, read_depth, write_depth)``
+    tuples in global order for post-mortem inspection.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._state_lock = threading.Lock()
+        # thread id -> (read depth, write depth)
+        self._held: Dict[int, List[int]] = defaultdict(lambda: [0, 0])
+        self.history: List[Tuple[str, str, int, int]] = []
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _record(self, event: str, reads: int, writes: int) -> None:
+        self.history.append(
+            (threading.current_thread().name, event, reads, writes)
+        )
+
+    def _fail(self, message: str) -> None:
+        raise LockDisciplineError(
+            f"[{threading.current_thread().name}] {message}"
+        )
+
+    # -- instrumented surface ------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._state_lock:
+            reads, writes = self._held[me]
+            if writes:
+                self._fail(
+                    "acquire_read while holding the write lock — the "
+                    "writer already excludes every reader"
+                )
+            if reads and self._writers_waiting:
+                self._fail(
+                    "re-entrant acquire_read while a writer is queued — "
+                    "writer preference blocks the inner read forever"
+                )
+        super().acquire_read()
+        with self._state_lock:
+            state = self._held[me]
+            state[0] += 1
+            self._record("acquire_read", state[0], state[1])
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._state_lock:
+            state = self._held[me]
+            if state[0] <= 0:
+                self._fail("release_read without a matching acquire_read")
+            state[0] -= 1
+            self._record("release_read", state[0], state[1])
+        super().release_read()
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._state_lock:
+            reads, writes = self._held[me]
+            if reads:
+                self._fail(
+                    "read → write upgrade attempt — guaranteed deadlock "
+                    "under writer preference; release the read lock first"
+                )
+            if writes:
+                self._fail(
+                    "re-entrant acquire_write — RWLock is not reentrant; "
+                    "the second acquire waits on its own holder"
+                )
+        super().acquire_write()
+        with self._state_lock:
+            state = self._held[me]
+            state[1] += 1
+            self._record("acquire_write", state[0], state[1])
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._state_lock:
+            state = self._held[me]
+            if state[1] <= 0:
+                self._fail("release_write without a matching acquire_write")
+            state[1] -= 1
+            self._record("release_write", state[0], state[1])
+        super().release_write()
+
+    # -- assertions ----------------------------------------------------
+
+    def held_by_current_thread(self) -> Tuple[int, int]:
+        """(read depth, write depth) of the calling thread."""
+        with self._state_lock:
+            reads, writes = self._held[threading.get_ident()]
+            return reads, writes
+
+    def assert_quiescent(self) -> None:
+        """Every thread released everything it acquired."""
+        with self._state_lock:
+            leaked = {
+                ident: (reads, writes)
+                for ident, (reads, writes) in self._held.items()
+                if reads or writes
+            }
+        if leaked:
+            raise LockDisciplineError(
+                f"unbalanced locksets at quiescence: {leaked!r} "
+                "(thread id -> (reads, writes))"
+            )

@@ -1,0 +1,137 @@
+"""``# repro:`` pragma comments: hotpath markers and noqa suppressions.
+
+Two directives exist; anything else after ``# repro:`` is itself flagged
+(R002) so a typo cannot silently disable a rule:
+
+- ``# repro: hotpath`` — marks the *next* ``def`` (trailing on the def
+  line, or on its own line directly above the def / its first decorator)
+  as a hot-path function, enabling the R2xx purity rules on its body.
+- ``# repro: noqa[R101] -- justification`` — suppresses the named rules
+  on that line. The justification after ``--`` is mandatory: a bare noqa
+  does not suppress anything and is reported as R001. Several rules may
+  be listed (``noqa[R101,R202]``); a family prefix (``noqa[R2]``)
+  suppresses every rule in the family.
+
+Comments are read with :mod:`tokenize`, so strings containing ``# repro:``
+never register as pragmas.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.check.violations import RULE_CATALOGUE, Violation
+
+__all__ = ["Suppression", "PragmaIndex", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*(?P<body>.*)$")
+_NOQA_RE = re.compile(
+    r"^noqa\[(?P<codes>[A-Z0-9, ]+)\]\s*(?:--\s*(?P<why>.*))?$"
+)
+_HOTPATH_RE = re.compile(r"^hotpath\s*$")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``noqa`` directive."""
+
+    codes: Tuple[str, ...]
+    justification: str
+    line: int
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, rule: str) -> bool:
+        """True if ``rule`` equals, or extends, one of the codes."""
+        return any(rule == code or rule.startswith(code)
+                   for code in self.codes)
+
+
+@dataclass
+class PragmaIndex:
+    """Every pragma in one file, plus the problems found parsing them."""
+
+    #: line -> suppression active on that line
+    noqa: Dict[int, Suppression] = field(default_factory=dict)
+    #: lines bearing a ``hotpath`` marker
+    hotpath_lines: Set[int] = field(default_factory=set)
+    #: malformed/unknown pragmas, reported as violations directly
+    problems: List[Violation] = field(default_factory=list)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """Consume a suppression for ``rule`` at ``line`` if one applies."""
+        suppression = self.noqa.get(line)
+        if suppression is not None and suppression.matches(rule):
+            suppression.used = True
+            return True
+        return False
+
+    def unused(self) -> List[Suppression]:
+        """Suppressions that never fired (reported as R003)."""
+        return [s for s in self.noqa.values() if not s.used]
+
+
+def _known_prefix(code: str) -> bool:
+    return any(rule == code or rule.startswith(code)
+               for rule in RULE_CATALOGUE)
+
+
+def parse_pragmas(source: str, path: str) -> PragmaIndex:
+    """Extract every ``# repro:`` directive from ``source``."""
+    index = PragmaIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return index  # the engine reports the parse failure itself (R000)
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        col = token.start[1] + 1
+        body = match.group("body").strip()
+        snippet = token.string.strip()
+        if _HOTPATH_RE.match(body):
+            index.hotpath_lines.add(line)
+            continue
+        noqa = _NOQA_RE.match(body)
+        if noqa is not None:
+            codes = tuple(
+                code.strip() for code in noqa.group("codes").split(",")
+                if code.strip()
+            )
+            why = (noqa.group("why") or "").strip()
+            bogus = [code for code in codes if not _known_prefix(code)]
+            if bogus:
+                index.problems.append(Violation(
+                    rule="R002", path=path, line=line, col=col,
+                    message=f"noqa names unknown rule(s) {', '.join(bogus)}",
+                    snippet=snippet,
+                ))
+                continue
+            if not why:
+                index.problems.append(Violation(
+                    rule="R001", path=path, line=line, col=col,
+                    message=(
+                        "suppression needs a justification: "
+                        "# repro: noqa[RULE] -- <why this is sanctioned>"
+                    ),
+                    snippet=snippet,
+                ))
+                continue  # an unjustified noqa does not suppress
+            index.noqa[line] = Suppression(
+                codes=codes, justification=why, line=line,
+            )
+            continue
+        index.problems.append(Violation(
+            rule="R002", path=path, line=line, col=col,
+            message=f"unknown pragma directive {body.split()[0]!r}"
+            if body else "empty pragma directive",
+            snippet=snippet,
+        ))
+    return index

@@ -1,0 +1,168 @@
+"""R2 — hot-path purity for ``# repro: hotpath`` functions.
+
+PR 1 vectorised the build/update fast path and PR 2 promised the
+observability hooks stay zero-cost when disabled; these rules keep both
+promises honest on every function marked with the ``hotpath`` pragma:
+
+- R201: no dict/set allocation (display, comprehension, or ``dict()``/
+  ``set()`` call) lexically inside a loop — per-iteration hash-container
+  churn is exactly what the PR-1 flat-array rewrites removed.
+- R202: every hooks call must sit under an ``<hooks> is not None`` guard,
+  the "zero cost when disabled" contract of ``repro.obs.hooks``.
+- R203: no bare ``except:`` — a hot path swallowing ``KeyboardInterrupt``
+  or masking ``MemoryError`` turns a crash into corruption.
+- R204: no direct ``random.*``/``time.*`` module calls — hot paths take
+  an injected RNG/clock so runs stay deterministic and mockable.
+
+Nested ``def``s (the walk callbacks) are analysed as part of their
+enclosing hot function, with loop depth reset at the boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.check.engine import CheckConfig, CheckedFile, register
+from repro.check.violations import Violation
+
+__all__ = ["check_hotpaths"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_MUTABLE_BUILTINS = ("dict", "set")
+_BANNED_MODULES = ("random", "time")
+
+
+def _alloc_description(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Dict):
+        return "dict display"
+    if isinstance(node, ast.Set):
+        return "set display"
+    if isinstance(node, ast.DictComp):
+        return "dict comprehension"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_BUILTINS):
+        return f"{node.func.id}() call"
+    return None
+
+
+def _hooks_call(call: ast.Call) -> Optional[Tuple[str, str]]:
+    """``(receiver, method)`` if this call targets a hooks object."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    text = ast.unparse(func.value)
+    last = text.rsplit(".", 1)[-1]
+    if last.endswith("hooks") or last == "_hooks":
+        return text, func.attr
+    return None
+
+
+def _test_guards(test: ast.expr, receiver: str) -> bool:
+    """Does ``test`` establish that ``receiver`` is not None?"""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Compare):
+            if (len(node.ops) == 1 and isinstance(node.ops[0], ast.IsNot)
+                    and isinstance(node.comparators[0], ast.Constant)
+                    and node.comparators[0].value is None
+                    and ast.unparse(node.left) == receiver):
+                return True
+    return False
+
+
+def _is_guarded(checked: CheckedFile, call: ast.Call, receiver: str,
+                boundary: ast.AST) -> bool:
+    """Is ``call`` under an ``is not None`` guard within ``boundary``?"""
+    node: ast.AST = call
+    for ancestor in checked.ancestors(call):
+        if isinstance(ancestor, (ast.If, ast.IfExp, ast.While)):
+            if _test_guards(ancestor.test, receiver):
+                return True
+        if ancestor is boundary:
+            break
+        node = ancestor
+    return False
+
+
+def _walk_region(
+    function: FunctionNode,
+) -> Iterator[Tuple[ast.AST, int]]:
+    """Yield every node in the function with its lexical loop depth.
+
+    Nested function bodies are included (loop depth restarts at the
+    nested ``def``); nested loops increment the depth for their bodies.
+    """
+    def visit(node: ast.AST, depth: int) -> Iterator[Tuple[ast.AST, int]]:
+        for child in ast.iter_child_nodes(node):
+            child_depth = depth
+            if isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                yield child, depth
+                for grandchild in ast.iter_child_nodes(child):
+                    yield from visit_value(grandchild, depth + 1)
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_depth = 0
+            yield child, child_depth
+            yield from visit(child, child_depth)
+
+    def visit_value(node: ast.AST, depth: int
+                    ) -> Iterator[Tuple[ast.AST, int]]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            depth = 0  # a def's body does not run once per iteration
+        yield node, depth
+        yield from visit(node, depth)
+
+    yield from visit(function, 0)
+
+
+@register
+def check_hotpaths(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R201–R204 over every pragma-marked hot function."""
+    functions = checked.hotpath_functions()
+    seen_functions = set(id(f) for f in functions)
+    for function in functions:
+        # Nested hot functions are covered by their own pragma pass.
+        region: List[Tuple[ast.AST, int]] = [
+            (node, depth) for node, depth in _walk_region(function)
+            if not (id(node) in seen_functions and node is not function)
+        ]
+        for node, depth in region:
+            alloc = _alloc_description(node)
+            if alloc is not None and depth > 0:
+                yield checked.violation(
+                    "R201", node,
+                    f"hotpath {function.name!r} allocates a {alloc} inside "
+                    "a loop — hoist it or use the flat-array form",
+                )
+            if isinstance(node, ast.Call):
+                hooks_call = _hooks_call(node)
+                if hooks_call is not None:
+                    receiver, method = hooks_call
+                    if not _is_guarded(checked, node, receiver, function):
+                        yield checked.violation(
+                            "R202", node,
+                            f"hotpath {function.name!r} calls "
+                            f"{receiver}.{method}() without an "
+                            f"'{receiver} is not None' guard (hooks must "
+                            "be zero-cost when disabled)",
+                        )
+                if (isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id in _BANNED_MODULES):
+                    yield checked.violation(
+                        "R204", node,
+                        f"hotpath {function.name!r} calls "
+                        f"{node.func.value.id}.{node.func.attr}() directly "
+                        "— inject an RNG/clock instead",
+                    )
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield checked.violation(
+                    "R203", node,
+                    f"hotpath {function.name!r} uses a bare 'except:' — "
+                    "catch the specific failure type",
+                )

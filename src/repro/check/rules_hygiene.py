@@ -1,0 +1,174 @@
+"""R4 — general hygiene rules.
+
+- R401: mutable default arguments (``def f(x=[])``) — the shared-state
+  classic; use ``None`` plus an in-body default.
+- R402: ``assert`` used for runtime validation in library code. Asserts
+  vanish under ``python -O``, so anything that guards real behaviour must
+  raise. Debug validators are exempt by name: functions matching the
+  configured pattern (``check_*``, ``*invariant*``, ``*consisten*``,
+  ``*verify*``) exist precisely to assert and are documented as such.
+- R403: ``__all__`` drift in package ``__init__`` modules — a name listed
+  but never bound (stale export), a public binding missing from the list,
+  or a package ``__init__`` with public imports and no ``__all__`` at all
+  (CONTRIBUTING mandates module-level ``__all__`` in package inits).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Set, Union
+
+from repro.check.engine import CheckConfig, CheckedFile, register
+from repro.check.violations import Violation
+
+__all__ = [
+    "check_mutable_defaults",
+    "check_runtime_asserts",
+    "check_all_drift",
+]
+
+_MUTABLE_CALLS = ("list", "dict", "set", "bytearray")
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS)
+
+
+@register
+def check_mutable_defaults(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R401: mutable default argument values."""
+    for node in ast.walk(checked.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        defaults: List[Optional[ast.expr]] = list(node.args.defaults)
+        defaults.extend(node.args.kw_defaults)
+        name = getattr(node, "name", "<lambda>")
+        for default in defaults:
+            if default is not None and _is_mutable_default(default):
+                yield checked.violation(
+                    "R401", default,
+                    f"mutable default argument in {name!r} — default to "
+                    "None and create the container in the body",
+                )
+
+
+@register
+def check_runtime_asserts(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R402: assert outside a sanctioned debug-validator function."""
+    allowed = re.compile(config.assert_allowed_pattern)
+    for node in ast.walk(checked.tree):
+        if not isinstance(node, ast.Assert):
+            continue
+        function = checked.enclosing_function(node)
+        if function is not None and allowed.search(function.name):
+            continue
+        yield checked.violation(
+            "R402", node,
+            "assert used for runtime validation — raise a typed error "
+            "(asserts vanish under python -O); debug validators belong "
+            "in a check_* helper",
+        )
+
+
+def _module_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound at module level (defs, classes, imports, assignments)."""
+    bound: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name in ast.walk(target):
+                    if isinstance(name, ast.Name):
+                        bound.add(name.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            bound.add(node.target.id)
+    return bound
+
+
+def _imported_public(tree: ast.Module) -> Set[str]:
+    """Public names a ``from x import y`` binds at module level."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if not bound.startswith("_") and bound != "*":
+                    names.add(bound)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            if not node.name.startswith("_"):
+                names.add(node.name)
+    return names
+
+
+def _find_all(tree: ast.Module) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        ):
+            return node
+    return None
+
+
+@register
+def check_all_drift(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R403: __all__ vs module bindings in package ``__init__`` files."""
+    if not checked.rel.endswith("__init__.py"):
+        return
+    assignment = _find_all(checked.tree)
+    imported = _imported_public(checked.tree)
+    if assignment is None:
+        if imported:
+            yield checked.violation(
+                "R403", checked.tree.body[0] if checked.tree.body
+                else checked.tree,
+                "package __init__ re-exports names but defines no "
+                "__all__ — declare the public surface explicitly",
+            )
+        return
+    value = assignment.value
+    if not isinstance(value, (ast.List, ast.Tuple)):
+        return  # computed __all__: out of scope for a static rule
+    exported: List[str] = [
+        element.value for element in value.elts
+        if isinstance(element, ast.Constant)
+        and isinstance(element.value, str)
+    ]
+    bound = _module_bindings(checked.tree)
+    for name in exported:
+        if name not in bound:
+            yield checked.violation(
+                "R403", assignment,
+                f"__all__ exports {name!r} but the module never binds it "
+                "(stale export)",
+            )
+    listed = set(exported)
+    for name in sorted(imported - listed):
+        yield checked.violation(
+            "R403", assignment,
+            f"public name {name!r} is bound in this package __init__ but "
+            "missing from __all__",
+        )

@@ -1,0 +1,95 @@
+"""R3 — RWLock discipline.
+
+The concurrency layer (``repro.core.concurrent``) stays deadlock-free by
+construction: every acquisition goes through the ``with lock.read():`` /
+``with lock.write():`` context managers (so no code path can leak a held
+lock past an exception), and any future fine-grained scheme that takes
+several per-cell locks must take them in sorted cell order (the classic
+total-order argument — two updaters whose paths overlap cannot wait on
+each other cyclically).
+
+- R301: a raw ``acquire_read``/``release_read``/``acquire_write``/
+  ``release_write`` call anywhere outside the lock class's own body (the
+  context-manager helpers are *inside* ``RWLock``, which is the entire
+  allowlist).
+- R302: a loop that acquires subscripted locks (``locks[i]``) must
+  iterate over ``sorted(...)`` — anything else cannot guarantee the
+  global acquisition order.
+
+The dynamic counterpart used by the concurrency tests lives in
+:mod:`repro.check.lockset`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.check.engine import CheckConfig, CheckedFile, register
+from repro.check.violations import Violation
+
+__all__ = ["check_raw_lock_calls", "check_sorted_multi_lock"]
+
+
+@register
+def check_raw_lock_calls(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R301: raw acquire/release outside the lock implementation."""
+    for node in ast.walk(checked.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in config.raw_lock_methods):
+            continue
+        enclosing = checked.enclosing_classes(node)
+        if any(name in config.lock_owner_classes for name in enclosing):
+            continue  # the lock's own context-manager helpers
+        yield checked.violation(
+            "R301", node,
+            f"raw {node.func.attr}() call — use the context-manager "
+            "helpers (with lock.read(): / with lock.write():) so the "
+            "lock cannot leak past an exception",
+        )
+
+
+def _acquires_subscripted_lock(statement: ast.stmt) -> Optional[ast.With]:
+    """The first ``with locks[...]...read()/write()`` under ``statement``."""
+    for node in ast.walk(statement):
+        if not isinstance(node, ast.With):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if not (isinstance(expr, ast.Call)
+                    and isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr in ("read", "write")):
+                continue
+            receiver = expr.func.value
+            if isinstance(receiver, ast.Subscript):
+                return node
+    return None
+
+
+def _is_sorted_iterable(iterable: ast.expr) -> bool:
+    return (isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id == "sorted")
+
+
+@register
+def check_sorted_multi_lock(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R302: multi-lock acquisition loops must iterate in sorted order."""
+    for node in ast.walk(checked.tree):
+        if not isinstance(node, (ast.For, ast.AsyncFor)):
+            continue
+        acquisition = _acquires_subscripted_lock(node)
+        if acquisition is None:
+            continue
+        if _is_sorted_iterable(node.iter):
+            continue
+        yield checked.violation(
+            "R302", acquisition,
+            "loop acquires per-cell locks but does not iterate over "
+            "sorted(...) — unordered multi-lock acquisition can deadlock",
+        )

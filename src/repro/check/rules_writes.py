@@ -1,0 +1,102 @@
+"""R1 — value-table write encapsulation.
+
+The XOR invariant ``A1 ^ A2 ^ A3 == value`` (PAPER.md §update) is only
+maintained by the sanctioned write paths: the update planner, the static
+peel, the embedder itself, and the storage classes they drive. Any other
+module mutating cell storage — assigning the raw ``_cells``/``_words``
+arrays, or calling a mutating method (``xor``/``set``/``load_dense``/
+``clear``/``fill``) on a value-table handle — can silently break every
+stored equation, so R101 flags it. Sanctioned exceptions (snapshot
+restore, replica replay) carry an inline justified ``noqa``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.check.engine import CheckConfig, CheckedFile, register
+from repro.check.violations import Violation
+
+__all__ = ["check_value_table_writes"]
+
+#: receivers that look like a value-table handle: a bare/dotted name whose
+#: last segment is ``table``/``*_table``, or the raw storage attributes.
+_TABLE_SEGMENT_RE = re.compile(r"(^|_)table$")
+
+
+def _receiver_text(node: ast.expr) -> Optional[str]:
+    """Dotted-name text of a receiver expression, or None if not name-ish."""
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def _is_table_receiver(text: str, config: CheckConfig) -> bool:
+    last = text.rsplit(".", 1)[-1]
+    return bool(_TABLE_SEGMENT_RE.search(last)) or last in config.storage_attrs
+
+
+def _storage_attribute(node: ast.expr, config: CheckConfig
+                       ) -> Optional[ast.Attribute]:
+    """The ``<expr>._cells`` / ``<expr>._words`` attribute inside a write
+    target, unwrapping subscripts (``x._cells[i] = v``)."""
+    current = node
+    while isinstance(current, ast.Subscript):
+        current = current.value
+    if (isinstance(current, ast.Attribute)
+            and current.attr in config.storage_attrs):
+        return current
+    return None
+
+
+@register
+def check_value_table_writes(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R101: cell storage is written outside the sanctioned modules."""
+    if config.allows_table_writes(checked.rel):
+        return
+    for node in ast.walk(checked.tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            attribute = _storage_attribute(target, config)
+            if attribute is None:
+                continue
+            owner = attribute.value
+            if isinstance(owner, ast.Name) and owner.id == "self":
+                continue  # a class writing its *own* storage attribute
+            yield checked.violation(
+                "R101", node,
+                f"direct write to {attribute.attr!r} cell storage — only "
+                "the sanctioned write-path modules may mutate the value "
+                "table (see docs/static_analysis.md R1)",
+            )
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ) and node.func.attr in config.storage_mutators:
+            receiver = _receiver_text(node.func.value)
+            if receiver is None or receiver == "self":
+                continue
+            if receiver in tuple(
+                f"self.{attr}" for attr in config.storage_attrs
+            ):
+                continue  # a class mutating its *own* storage attribute
+            if not _is_table_receiver(receiver, config):
+                continue
+            yield checked.violation(
+                "R101", node,
+                f"call {receiver}.{node.func.attr}() mutates value-table "
+                "cells outside the sanctioned write-path modules",
+            )

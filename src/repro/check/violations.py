@@ -1,0 +1,80 @@
+"""Violation records produced by the ``repro.check`` rules.
+
+A violation is one rule firing at one source location. Its *fingerprint*
+identifies the finding across unrelated edits — it hashes the file, the
+rule, and the stripped source line rather than the line *number*, so a
+baselined violation stays recognised when code above it moves, and stops
+matching the moment the offending line itself changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Violation", "RULE_CATALOGUE"]
+
+
+#: rule id -> one-line description (the catalogue ``--list-rules`` prints;
+#: docs/static_analysis.md is the long-form reference).
+RULE_CATALOGUE: Dict[str, str] = {
+    "R000": "file could not be parsed (syntax error)",
+    "R001": "repro: noqa suppression without a justification",
+    "R002": "unknown 'repro:' pragma directive",
+    "R003": "unused 'repro: noqa' suppression",
+    "R101": "value-table cell storage written outside the sanctioned "
+            "write-path modules",
+    "R201": "hotpath function allocates a dict/set inside a loop",
+    "R202": "hotpath function calls hooks without an 'is not None' guard",
+    "R203": "hotpath function uses a bare 'except:'",
+    "R204": "hotpath function calls the random/time modules directly "
+            "instead of an injected RNG/clock",
+    "R301": "raw RWLock acquire_*/release_* call outside the lock's own "
+            "context-manager helpers",
+    "R302": "multi-lock acquisition loop not iterating in sorted order",
+    "R401": "mutable default argument",
+    "R402": "assert used for runtime validation outside a check_* helper",
+    "R403": "package __init__ __all__ drift (stale or missing export)",
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one location.
+
+    ``path`` is the module-relative posix path (``repro/core/update.py``),
+    ``snippet`` the stripped source line the rule fired on.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self) -> str:
+        """Stable id for baseline matching (content-, not line-, based)."""
+        digest = hashlib.sha256(
+            f"{self.path}::{self.rule}::{self.snippet}".encode()
+        )
+        return digest.hexdigest()[:16]
+
+    def render(self) -> str:
+        """The one-line ``path:line:col: RULE message`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping (the ``--format json`` row)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }

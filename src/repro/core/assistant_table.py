@@ -60,7 +60,7 @@ class AssistantTable:
     def __contains__(self, key: int) -> bool:
         return key in self._values
 
-    def add(self, key: int, value: int, cells: Tuple[Cell, ...]) -> None:
+    def add(self, key: int, value: int, cells: Tuple[Cell, ...]) -> None:  # repro: hotpath
         """Record a new KV pair and register the key at each of its cells."""
         if key in self._values:
             raise KeyError(f"key {key!r} already recorded")
@@ -72,7 +72,7 @@ class AssistantTable:
             self._buckets[flat].add(key)
             self._gens[flat] += 1
 
-    def add_batch(
+    def add_batch(  # repro: hotpath
         self,
         keys: Sequence[int],
         values: Sequence[int],
@@ -103,7 +103,7 @@ class AssistantTable:
                 buckets[flat].add(key)
                 gens[flat] += 1
 
-    def remove(self, key: int) -> None:
+    def remove(self, key: int) -> None:  # repro: hotpath
         """Forget a KV pair; its cells' counters drop by one (§IV-C Delete)."""
         cells = self._cells.pop(key)
         del self._values[key]

@@ -30,12 +30,14 @@ reports that divergence.
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.config import EmbedderConfig
 from repro.core.embedder import VisionEmbedder
+from repro.obs.hooks import WalkHooks
 from repro.table import Key
 
 
@@ -76,26 +78,26 @@ class RWLock:
             self._cond.notify_all()
 
     class _ReadContext:
-        def __init__(self, lock: "RWLock"):
+        def __init__(self, lock: "RWLock") -> None:
             self._lock = lock
 
-        def __enter__(self):
+        def __enter__(self) -> "RWLock._ReadContext":
             self._lock.acquire_read()
             return self
 
-        def __exit__(self, *exc):
+        def __exit__(self, *exc: object) -> bool:
             self._lock.release_read()
             return False
 
     class _WriteContext:
-        def __init__(self, lock: "RWLock"):
+        def __init__(self, lock: "RWLock") -> None:
             self._lock = lock
 
-        def __enter__(self):
+        def __enter__(self) -> "RWLock._WriteContext":
             self._lock.acquire_write()
             return self
 
-        def __exit__(self, *exc):
+        def __exit__(self, *exc: object) -> bool:
             self._lock.release_write()
             return False
 
@@ -126,15 +128,15 @@ class ConcurrentVisionEmbedder(VisionEmbedder):
         seed: int = 1,
         num_arrays: int = 3,
         packed: bool = False,
-        hooks=None,
-    ):
+        hooks: Optional[WalkHooks] = None,
+    ) -> None:
         super().__init__(capacity, value_bits, config=config, seed=seed,
                          num_arrays=num_arrays, packed=packed, hooks=hooks)
         # Reentrant: insert/update may trigger reconstruct() internally.
         self._update_mutex = threading.RLock()
         self._rebuild_gate = RWLock()
 
-    def set_hooks(self, hooks) -> None:
+    def set_hooks(self, hooks: Optional[WalkHooks]) -> None:
         # Serialised against mutations so a walk never sees the hooks (or
         # the strategy's subtree histogram) change mid-flight. Hook events
         # themselves fire under the update mutex — one writer at a time —
@@ -156,7 +158,9 @@ class ConcurrentVisionEmbedder(VisionEmbedder):
         with self._update_mutex:
             super().update(key, value)
 
-    def insert_batch(self, keys, values) -> None:
+    def insert_batch(
+        self, keys: Iterable[Key], values: Iterable[int]
+    ) -> None:
         # One lock for the whole batch: the repair walks inside must not
         # interleave with other writers (insert_many funnels through here).
         with self._update_mutex:
@@ -174,7 +178,7 @@ class ConcurrentVisionEmbedder(VisionEmbedder):
             with self._rebuild_gate.write():
                 super().reconstruct(method)
 
-    def bulk_load(self, pairs) -> None:
+    def bulk_load(self, pairs: Iterable[Tuple[Key, int]]) -> None:
         # Static construction rewrites the whole fast space too.
         with self._update_mutex:
             with self._rebuild_gate.write():
@@ -186,6 +190,8 @@ class ConcurrentVisionEmbedder(VisionEmbedder):
         with self._rebuild_gate.read():
             return super().lookup(key)
 
-    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+    def lookup_batch(
+        self, keys: npt.NDArray[np.uint64]
+    ) -> npt.NDArray[np.uint64]:
         with self._rebuild_gate.read():
             return super().lookup_batch(keys)

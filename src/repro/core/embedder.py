@@ -43,7 +43,7 @@ from repro.core.static_build import static_build_arrays
 from repro.core.update import make_strategy, search_update_path
 from repro.core.value_table import ValueTable
 from repro.hashing import HashFamily, key_to_u64, keys_to_u64_batch
-from repro.obs.hooks import MetricsHooks, default_metrics_enabled
+from repro.obs.hooks import MetricsHooks, WalkHooks, default_metrics_enabled
 from repro.table import Key, ValueOnlyTable
 
 Cell = Tuple[int, int]
@@ -89,8 +89,8 @@ class VisionEmbedder(ValueOnlyTable):
         seed: int = 1,
         num_arrays: int = 3,
         packed: bool = False,
-        hooks=None,
-    ):
+        hooks: Optional[WalkHooks] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.config = config if config is not None else EmbedderConfig()
@@ -119,7 +119,7 @@ class VisionEmbedder(ValueOnlyTable):
         self._updates_counter = self._stats.counter_for("updates")
         self._repair_steps_counter = self._stats.counter_for("repair_steps")
         self._in_reconstruct = False
-        self._hooks = None
+        self._hooks: Optional[WalkHooks] = None
         if hooks is None and default_metrics_enabled():
             hooks = MetricsHooks(self._stats.registry)
         if hooks is not None:
@@ -142,11 +142,11 @@ class VisionEmbedder(ValueOnlyTable):
         return self._stats
 
     @property
-    def hooks(self):
+    def hooks(self) -> Optional[WalkHooks]:
         """The attached tracing hooks, or None when tracing is disabled."""
         return self._hooks
 
-    def set_hooks(self, hooks) -> None:
+    def set_hooks(self, hooks: Optional[WalkHooks]) -> None:
         """Attach (or with None, detach) tracing hooks.
 
         Any object with the :class:`repro.obs.hooks.WalkHooks` methods
@@ -182,17 +182,17 @@ class VisionEmbedder(ValueOnlyTable):
     def __contains__(self, key: Key) -> bool:
         return key_to_u64(key) in self._assistant
 
-    def lookup(self, key: Key) -> int:
+    def lookup(self, key: Key) -> int:  # repro: hotpath
         """XOR of the key's three cells — fast space only, O(1)."""
         handle = key_to_u64(key)
         return self._table.xor_sum(self._cells_for(handle))
 
-    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:
+    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:  # repro: hotpath
         """Vectorised lookup over a ``uint64`` key array."""
         index_arrays = self._hashes.indices_batch(np.asarray(keys, dtype=np.uint64))
         return self._table.lookup_batch(index_arrays)
 
-    def insert(self, key: Key, value: int) -> None:
+    def insert(self, key: Key, value: int) -> None:  # repro: hotpath
         """Insert a new pair; dynamic update per §IV."""
         handle = key_to_u64(key)
         if handle in self._assistant:
@@ -207,7 +207,9 @@ class VisionEmbedder(ValueOnlyTable):
             self._assistant.remove(handle)
             raise
 
-    def insert_batch(self, keys, values) -> None:
+    def insert_batch(  # repro: hotpath
+        self, keys: Iterable[Key], values: Iterable[int]
+    ) -> None:
         """Insert many new pairs through the vectorised write pipeline.
 
         Keys are canonicalised to one ``uint64`` handle array, all cells
@@ -412,7 +414,7 @@ class VisionEmbedder(ValueOnlyTable):
     # Update machinery
     # ------------------------------------------------------------------
 
-    def _cells_for(self, handle: int) -> Tuple[Cell, ...]:
+    def _cells_for(self, handle: int) -> Tuple[Cell, ...]:  # repro: hotpath
         return tuple(enumerate(self._hashes.indices(handle)))
 
     def _check_value(self, value: int) -> None:
@@ -421,7 +423,7 @@ class VisionEmbedder(ValueOnlyTable):
                 f"value {value} out of range for {self._value_bits}-bit values"
             )
 
-    def _run_update(self, handle: int) -> None:
+    def _run_update(self, handle: int) -> None:  # repro: hotpath
         """Search for a modification path and apply it; handle failure."""
         try:
             plan = search_update_path(

@@ -66,7 +66,7 @@ class PackedValueTable:
 
     # -- scalar access ------------------------------------------------------
 
-    def get(self, cell: Cell) -> int:
+    def get(self, cell: Cell) -> int:  # repro: hotpath
         """Read the L-bit integer at ``cell = (array, index)``."""
         bit = self._flat(cell) * self.value_bits
         word, offset = divmod(bit, _WORD_BITS)
@@ -80,7 +80,7 @@ class PackedValueTable:
         """Overwrite the integer at ``cell`` with ``value``."""
         self.xor(cell, (self.get(cell) ^ value) & self.value_mask)
 
-    def xor(self, cell: Cell, delta: int) -> None:
+    def xor(self, cell: Cell, delta: int) -> None:  # repro: hotpath
         """XOR ``delta`` into the integer at ``cell``.
 
         XOR never carries across bits, so a straddling write is two
@@ -94,7 +94,7 @@ class PackedValueTable:
         if spill > 0:
             self._words[word + 1] ^= np.uint64(delta >> (self.value_bits - spill))
 
-    def xor_sum(self, cells: Iterable[Cell]) -> int:
+    def xor_sum(self, cells: Iterable[Cell]) -> int:  # repro: hotpath
         """XOR of the integers at the given cells (the lookup primitive)."""
         result = 0
         for cell in cells:
@@ -119,7 +119,7 @@ class PackedValueTable:
         )
         return (low | high) & np.uint64(self.value_mask)
 
-    def lookup_batch(self, index_arrays: Sequence[np.ndarray]) -> np.ndarray:
+    def lookup_batch(self, index_arrays: Sequence[np.ndarray]) -> np.ndarray:  # repro: hotpath
         """Vectorised lookup: XOR across arrays at per-array index vectors."""
         if len(index_arrays) != self.num_arrays:
             raise ValueError("need one index vector per array")

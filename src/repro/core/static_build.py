@@ -136,7 +136,7 @@ def _flat_matrix(
     ])
 
 
-def _peel_rounds(
+def _peel_rounds(  # repro: hotpath
     flat_mat: np.ndarray, width: int, hooks=None
 ) -> Optional[List[Tuple[np.ndarray, np.ndarray]]]:
     """Round-synchronous vectorised peel.
@@ -205,7 +205,7 @@ def peel_order_flat(
     ]
 
 
-def assign_in_reverse_flat(
+def assign_in_reverse_flat(  # repro: hotpath
     table: ValueTable,
     rounds: List[Tuple[np.ndarray, np.ndarray]],
     flat_mat: np.ndarray,

@@ -172,7 +172,7 @@ class VisionStrategy(UpdateStrategy):
         self.subtree_histogram = None
         self._cache = _CostCache()
 
-    def choose(
+    def choose(  # repro: hotpath
         self,
         candidates: List[Cell],
         from_key: int,
@@ -272,7 +272,7 @@ class VisionStrategy(UpdateStrategy):
         elif len(cache.entries) > _CostCache.MAX_ENTRIES:
             cache.entries.clear()
 
-    def _cost_excluding(
+    def _cost_excluding(  # repro: hotpath
         self,
         flat_cell: int,
         from_key: int,
@@ -299,7 +299,7 @@ class VisionStrategy(UpdateStrategy):
                                  out_deps)
         return cost
 
-    def _key_term(
+    def _key_term(  # repro: hotpath
         self,
         key: int,
         flat_cell: int,
@@ -404,7 +404,7 @@ class UpdatePlan:
             table.xor(cell, self.v_delta)
 
 
-def _run_repair_walk(
+def _run_repair_walk(  # repro: hotpath
     check_consistent: Callable[[int], bool],
     modify: Callable[[Cell], None],
     assistant: AssistantTable,
@@ -457,7 +457,7 @@ def _run_repair_walk(
     return steps
 
 
-def find_update_path(
+def find_update_path(  # repro: hotpath
     table: ValueTable,
     assistant: AssistantTable,
     key: int,

@@ -42,7 +42,7 @@ class ValueTable:
         """Fast-space footprint in bits: one L-bit integer per cell."""
         return self.num_cells * self.value_bits
 
-    def get(self, cell: Cell) -> int:
+    def get(self, cell: Cell) -> int:  # repro: hotpath
         """Read the L-bit integer at ``cell = (array, index)``."""
         return int(self._cells[cell])
 
@@ -50,7 +50,7 @@ class ValueTable:
         """Overwrite the integer at ``cell`` with ``value``."""
         self._cells[cell] = value & self.value_mask
 
-    def xor(self, cell: Cell, delta: int) -> None:
+    def xor(self, cell: Cell, delta: int) -> None:  # repro: hotpath
         """XOR ``delta`` into the integer at ``cell``.
 
         This is the only mutation the concurrent update path uses: the
@@ -59,14 +59,14 @@ class ValueTable:
         """
         self._cells[cell] ^= np.uint64(delta & self.value_mask)
 
-    def xor_sum(self, cells: Iterable[Cell]) -> int:
+    def xor_sum(self, cells: Iterable[Cell]) -> int:  # repro: hotpath
         """XOR of the integers at the given cells (the lookup primitive)."""
         result = 0
         for cell in cells:
             result ^= int(self._cells[cell])
         return result
 
-    def lookup_batch(self, index_arrays: Sequence[np.ndarray]) -> np.ndarray:
+    def lookup_batch(self, index_arrays: Sequence[np.ndarray]) -> np.ndarray:  # repro: hotpath
         """Vectorised lookup: XOR across arrays at per-array index vectors.
 
         ``index_arrays[j]`` holds, for each queried key, its index into

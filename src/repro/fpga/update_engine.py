@@ -54,7 +54,7 @@ class UpdateEngine:
         if not self._fifo:
             return False
         message = self._fifo.popleft()
-        self._table.xor(message.cell, message.delta)
+        self._table.xor(message.cell, message.delta)  # repro: noqa[R101] -- port-B FIFO applies publisher-authored V_delta
         self.writes_applied += 1
         return True
 
@@ -99,9 +99,10 @@ class DataPlaneDevice:
             table = ValueTable(
                 message.width, message.value_bits, message.num_arrays
             )
-            table._cells = np.frombuffer(
+            dense = np.frombuffer(
                 message.cells, dtype="<u8"
-            ).reshape(message.num_arrays, message.width).copy()
+            ).reshape(message.num_arrays, message.width)
+            table.load_dense(dense)  # repro: noqa[R101] -- device BRAM restores the control plane's snapshot verbatim
             self._table = table
             self._hashes = HashFamily(
                 message.seed, [message.width] * message.num_arrays

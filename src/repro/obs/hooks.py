@@ -47,6 +47,7 @@ from repro.obs.registry import (
     RECONSTRUCT_SECONDS_BUCKETS,
     SUBTREE_BUCKETS,
     WALK_STEP_BUCKETS,
+    Histogram,
     MetricsRegistry,
 )
 
@@ -96,7 +97,7 @@ class MetricsHooks(WalkHooks):
       — static-peel progress.
     """
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None):
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         reg = self.registry
         self.walk_steps = reg.histogram(
@@ -192,7 +193,7 @@ class WalkTraceRecorder(WalkHooks):
     every attempt.
     """
 
-    def __init__(self, capacity: int = 256, keep: str = "failed"):
+    def __init__(self, capacity: int = 256, keep: str = "failed") -> None:
         if keep not in ("failed", "all"):
             raise ValueError("keep must be 'failed' or 'all'")
         if capacity < 1:
@@ -253,14 +254,14 @@ class CompositeHooks(WalkHooks):
     wires the GetCost histogram into the vision strategy.
     """
 
-    def __init__(self, *hooks: WalkHooks):
+    def __init__(self, *hooks: WalkHooks) -> None:
         self.hooks: Sequence[WalkHooks] = tuple(hooks)
 
     @property
-    def subtree_histogram(self):
+    def subtree_histogram(self) -> Optional[Histogram]:
         for hook in self.hooks:
             histogram = getattr(hook, "subtree_histogram", None)
-            if histogram is not None:
+            if isinstance(histogram, Histogram):
                 return histogram
         return None
 
@@ -311,7 +312,7 @@ class default_metrics:
     """Context manager form of :func:`enable_default_metrics` (re-entrant
     only in the trivial sense: restores the previous flag on exit)."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self._enabled = enabled
         self._previous = False
 
@@ -322,7 +323,7 @@ class default_metrics:
             _DEFAULT_METRICS = self._enabled
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         global _DEFAULT_METRICS
         with _DEFAULT_LOCK:
             _DEFAULT_METRICS = self._previous

@@ -309,6 +309,10 @@ class RegistryCollector:
     Nesting is fine — every active collector sees every new registry.
     """
 
+    #: set by :func:`repro.bench.harness.metrics_sidecar` after exit —
+    #: the (json, prom) paths the aggregated run was written to.
+    sidecar_paths: Tuple[str, str]
+
     def __init__(self) -> None:
         self._registries: List[MetricsRegistry] = []
         self._lock = threading.Lock()
@@ -330,7 +334,7 @@ class RegistryCollector:
             _COLLECTORS.append(self)
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         with _COLLECTORS_LOCK:
             try:
                 _COLLECTORS.remove(self)

@@ -1,0 +1,593 @@
+"""Tests for the repro.check static-analysis package.
+
+Each rule is exercised against a violating and a clean fixture snippet;
+the pragma, baseline, and CLI layers get behavioural tests of their own.
+Fixture code is checked in-memory through :func:`check_source`, so no
+temp files are needed except for the CLI/baseline round-trips.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.check import (
+    Baseline,
+    BaselineEntry,
+    CheckConfig,
+    Violation,
+    check_source,
+    load_baseline,
+    main,
+    write_baseline,
+)
+from repro.check.engine import module_relpath
+from pathlib import Path
+
+
+def run(source, rel="repro/other/module.py"):
+    """check_source over a dedented fixture snippet."""
+    return check_source(textwrap.dedent(source), rel)
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+# ---------------------------------------------------------------------------
+# R101 — value-table write encapsulation
+# ---------------------------------------------------------------------------
+
+class TestR101:
+    def test_direct_cells_assignment_flagged(self):
+        found = run("table._cells = fresh\n")
+        assert rules_of(found) == ["R101"]
+
+    def test_subscript_cells_write_flagged(self):
+        found = run("table._cells[0, 3] = 7\n")
+        assert rules_of(found) == ["R101"]
+
+    def test_words_augassign_flagged(self):
+        found = run("packed._words[0] ^= delta\n")
+        assert rules_of(found) == ["R101"]
+
+    def test_mutator_call_on_table_flagged(self):
+        found = run("value_table.xor((0, 1), 3)\n")
+        assert rules_of(found) == ["R101"]
+
+    def test_load_dense_on_nested_table_flagged(self):
+        found = run("wrapper._table.load_dense(dense)\n")
+        assert rules_of(found) == ["R101"]
+
+    def test_own_storage_attribute_allowed(self):
+        found = run(
+            """
+            class Recorder:
+                def reset(self):
+                    self._cells.clear()
+            """
+        )
+        assert found == []
+
+    def test_non_table_receiver_allowed(self):
+        found = run("self._traces.clear()\n")
+        assert found == []
+
+    def test_allowlisted_module_exempt(self):
+        found = run(
+            "table._cells[0] = 1\n", rel="repro/core/update.py"
+        )
+        assert found == []
+
+    def test_baseline_prefix_exempt(self):
+        found = run(
+            "table._cells[0] = 1\n", rel="repro/baselines/bloom.py"
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# R2 — hot-path purity
+# ---------------------------------------------------------------------------
+
+HOT = "def walk(items, hooks):  # repro: hotpath\n"
+
+
+class TestR2Hotpath:
+    def test_dict_alloc_in_loop_flagged(self):
+        found = run(
+            """
+            def walk(items):  # repro: hotpath
+                for item in items:
+                    seen = {}
+            """
+        )
+        assert rules_of(found) == ["R201"]
+
+    def test_set_call_in_loop_flagged(self):
+        found = run(
+            """
+            def walk(items):  # repro: hotpath
+                while items:
+                    bucket = set()
+            """
+        )
+        assert rules_of(found) == ["R201"]
+
+    def test_alloc_outside_loop_allowed(self):
+        found = run(
+            """
+            def walk(items):  # repro: hotpath
+                seen = set()
+                for item in items:
+                    seen.add(item)
+            """
+        )
+        assert found == []
+
+    def test_unmarked_function_not_checked(self):
+        found = run(
+            """
+            def walk(items):
+                for item in items:
+                    seen = {}
+            """
+        )
+        assert found == []
+
+    def test_pragma_on_line_above_def(self):
+        found = run(
+            """
+            # repro: hotpath
+            def walk(items):
+                for item in items:
+                    seen = {}
+            """
+        )
+        assert rules_of(found) == ["R201"]
+
+    def test_unguarded_hooks_call_flagged(self):
+        found = run(
+            """
+            def walk(key, hooks):  # repro: hotpath
+                hooks.on_kick(key, (0, 1), 2)
+            """
+        )
+        assert rules_of(found) == ["R202"]
+
+    def test_guarded_hooks_call_allowed(self):
+        found = run(
+            """
+            def walk(key, hooks):  # repro: hotpath
+                if hooks is not None:
+                    hooks.on_kick(key, (0, 1), 2)
+            """
+        )
+        assert found == []
+
+    def test_guard_must_name_same_receiver(self):
+        found = run(
+            """
+            def walk(key, hooks, other_hooks):  # repro: hotpath
+                if other_hooks is not None:
+                    hooks.on_kick(key, (0, 1), 2)
+            """
+        )
+        assert rules_of(found) == ["R202"]
+
+    def test_bare_except_flagged(self):
+        found = run(
+            """
+            def walk(items):  # repro: hotpath
+                try:
+                    items.pop()
+                except:
+                    pass
+            """
+        )
+        assert rules_of(found) == ["R203"]
+
+    def test_typed_except_allowed(self):
+        found = run(
+            """
+            def walk(items):  # repro: hotpath
+                try:
+                    items.pop()
+                except IndexError:
+                    pass
+            """
+        )
+        assert found == []
+
+    def test_direct_random_call_flagged(self):
+        found = run(
+            """
+            def walk(items):  # repro: hotpath
+                return random.random()
+            """
+        )
+        assert rules_of(found) == ["R204"]
+
+    def test_direct_time_call_flagged(self):
+        found = run(
+            """
+            def walk(items):  # repro: hotpath
+                return time.perf_counter()
+            """
+        )
+        assert rules_of(found) == ["R204"]
+
+    def test_injected_rng_allowed(self):
+        found = run(
+            """
+            def walk(items, rng):  # repro: hotpath
+                return rng.random()
+            """
+        )
+        assert found == []
+
+    def test_nested_def_depth_resets(self):
+        # The set() sits in a nested function *defined* inside a loop but
+        # not executed per-iteration-in-a-loop lexically inside it.
+        found = run(
+            """
+            def walk(items):  # repro: hotpath
+                for item in items:
+                    def helper():
+                        seen = set()
+                        return seen
+            """
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# R3 — lock discipline
+# ---------------------------------------------------------------------------
+
+class TestR3Locks:
+    def test_raw_acquire_flagged(self):
+        found = run(
+            """
+            def reader(lock):
+                lock.acquire_read()
+                try:
+                    pass
+                finally:
+                    lock.release_read()
+            """
+        )
+        assert rules_of(found) == ["R301", "R301"]
+
+    def test_context_manager_allowed(self):
+        found = run(
+            """
+            def reader(lock):
+                with lock.read():
+                    pass
+            """
+        )
+        assert found == []
+
+    def test_lock_class_body_exempt(self):
+        found = run(
+            """
+            class RWLock:
+                def read(self):
+                    self.acquire_read()
+            """
+        )
+        assert found == []
+
+    def test_unsorted_multi_lock_flagged(self):
+        found = run(
+            """
+            def update(locks, cells):
+                for cell in cells:
+                    with locks[cell].write():
+                        pass
+            """
+        )
+        assert rules_of(found) == ["R302"]
+
+    def test_sorted_multi_lock_allowed(self):
+        found = run(
+            """
+            def update(locks, cells):
+                for cell in sorted(cells):
+                    with locks[cell].write():
+                        pass
+            """
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# R4 — hygiene
+# ---------------------------------------------------------------------------
+
+class TestR4Hygiene:
+    def test_mutable_default_flagged(self):
+        found = run("def f(x=[]):\n    return x\n")
+        assert rules_of(found) == ["R401"]
+
+    def test_mutable_kwonly_default_flagged(self):
+        found = run("def f(*, x={}):\n    return x\n")
+        assert rules_of(found) == ["R401"]
+
+    def test_none_default_allowed(self):
+        found = run("def f(x=None):\n    return x or []\n")
+        assert found == []
+
+    def test_runtime_assert_flagged(self):
+        found = run(
+            """
+            def insert(table, key):
+                assert key >= 0
+            """
+        )
+        assert rules_of(found) == ["R402"]
+
+    def test_assert_in_check_helper_allowed(self):
+        found = run(
+            """
+            def check_consistency(table):
+                assert table.ok
+            """
+        )
+        assert found == []
+
+    def test_stale_export_flagged(self):
+        found = run(
+            """
+            from repro.x import thing
+
+            __all__ = ["thing", "ghost"]
+            """,
+            rel="repro/pkg/__init__.py",
+        )
+        assert rules_of(found) == ["R403"]
+        assert "ghost" in found[0].message
+
+    def test_missing_export_flagged(self):
+        found = run(
+            """
+            from repro.x import thing, other
+
+            __all__ = ["thing"]
+            """,
+            rel="repro/pkg/__init__.py",
+        )
+        assert rules_of(found) == ["R403"]
+        assert "other" in found[0].message
+
+    def test_missing_all_flagged(self):
+        found = run(
+            "from repro.x import thing\n", rel="repro/pkg/__init__.py"
+        )
+        assert rules_of(found) == ["R403"]
+
+    def test_consistent_init_clean(self):
+        found = run(
+            """
+            from repro.x import thing
+
+            __all__ = ["thing"]
+            """,
+            rel="repro/pkg/__init__.py",
+        )
+        assert found == []
+
+    def test_non_init_module_not_checked(self):
+        found = run("from repro.x import thing\n")
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# pragmas: noqa semantics, unknown directives, syntax errors
+# ---------------------------------------------------------------------------
+
+class TestPragmas:
+    def test_justified_noqa_suppresses(self):
+        found = run(
+            "table._cells[0] = 1  "
+            "# repro: noqa[R101] -- fixture restores a snapshot\n"
+        )
+        assert found == []
+
+    def test_family_prefix_suppresses(self):
+        found = run(
+            """
+            def walk(items):  # repro: hotpath
+                for item in items:
+                    seen = {}  # repro: noqa[R2] -- fixture tests the family prefix
+            """
+        )
+        assert found == []
+
+    def test_unjustified_noqa_is_r001_and_does_not_suppress(self):
+        found = run("table._cells[0] = 1  # repro: noqa[R101]\n")
+        assert sorted(rules_of(found)) == ["R001", "R101"]
+
+    def test_unknown_rule_in_noqa_is_r002(self):
+        found = run("x = 1  # repro: noqa[R999] -- no such rule\n")
+        assert rules_of(found) == ["R002"]
+
+    def test_unknown_directive_is_r002(self):
+        found = run("x = 1  # repro: hotpth\n")
+        assert rules_of(found) == ["R002"]
+
+    def test_unused_noqa_is_r003(self):
+        found = run("x = 1  # repro: noqa[R101] -- nothing to suppress\n")
+        assert rules_of(found) == ["R003"]
+
+    def test_noqa_only_covers_its_own_line(self):
+        found = run(
+            """
+            ok = 1  # repro: noqa[R101] -- wrong line
+            table._cells[0] = 1
+            """
+        )
+        assert sorted(rules_of(found)) == ["R003", "R101"]
+
+    def test_pragma_inside_string_ignored(self):
+        found = run('text = "# repro: hotpath"\n')
+        assert found == []
+
+    def test_syntax_error_is_r000(self):
+        found = run("def broken(:\n")
+        assert rules_of(found) == ["R000"]
+
+
+# ---------------------------------------------------------------------------
+# baseline ratchet
+# ---------------------------------------------------------------------------
+
+class TestBaseline:
+    def violations(self):
+        return check_source(
+            "table._cells[0] = 1\n", "repro/other/module.py"
+        )
+
+    def test_round_trip_suppresses(self, tmp_path):
+        found = self.violations()
+        path = tmp_path / "baseline.json"
+        assert write_baseline(path, found) == 1
+        loaded = load_baseline(path)
+        # written entries carry no note yet: deliberately unjustified
+        assert len(loaded.unjustified()) == 1
+        surviving, matched, stale = loaded.apply(found)
+        assert surviving == [] and len(matched) == 1 and stale == []
+
+    def test_stale_entry_detected(self):
+        baseline = Baseline(entries=[BaselineEntry(
+            fingerprint="0" * 16, rule="R101",
+            path="repro/gone.py", note="was fixed",
+        )])
+        surviving, matched, stale = baseline.apply(self.violations())
+        assert len(surviving) == 1 and matched == [] and len(stale) == 1
+
+    def test_fingerprint_tracks_line_content(self):
+        first = check_source(
+            "table._cells[0] = 1\n", "repro/other/module.py"
+        )[0]
+        moved = check_source(
+            "\n\ntable._cells[0] = 1\n", "repro/other/module.py"
+        )[0]
+        edited = check_source(
+            "table._cells[0] = 2\n", "repro/other/module.py"
+        )[0]
+        assert first.fingerprint() == moved.fingerprint()
+        assert first.fingerprint() != edited.fingerprint()
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def write_module(self, tmp_path, source, name="module.py"):
+        pkg = tmp_path / "src" / "repro" / "other"
+        pkg.mkdir(parents=True, exist_ok=True)
+        target = pkg / name
+        target.write_text(textwrap.dedent(source))
+        return target
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        self.write_module(tmp_path, "x = 1\n")
+        assert main([str(tmp_path / "src")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        self.write_module(tmp_path, "table._cells[0] = 1\n")
+        assert main([str(tmp_path / "src"), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "R101" in out and "1 violation(s)" in out
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        self.write_module(tmp_path, "table._cells[0] = 1\n")
+        assert main(
+            [str(tmp_path / "src"), "--format", "json", "--no-baseline"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-check/1"
+        assert payload["count"] == 1
+        assert payload["violations"][0]["rule"] == "R101"
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("R101", "R201", "R301", "R401"):
+            assert rule in out
+
+    def test_baseline_workflow(self, tmp_path, capsys):
+        target = self.write_module(tmp_path, "table._cells[0] = 1\n")
+        baseline = tmp_path / "baseline.json"
+        src = str(tmp_path / "src")
+        assert main(
+            [src, "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        # entries start unjustified: the checker refuses the file as-is
+        assert main([src, "--baseline", str(baseline)]) == 1
+        payload = json.loads(baseline.read_text())
+        for entry in payload["entries"]:
+            entry["note"] = "fixture debt, paid down in the next PR"
+        baseline.write_text(json.dumps(payload))
+        capsys.readouterr()
+        # justified baseline: the violation is grandfathered
+        assert main([src, "--baseline", str(baseline)]) == 0
+        # fixing the code strands the entry -> stale -> exit 1
+        target.write_text("x = 1\n")
+        assert main([src, "--baseline", str(baseline)]) == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_two(self, tmp_path):
+        self.write_module(tmp_path, "x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{}")
+        assert main(
+            [str(tmp_path / "src"), "--baseline", str(baseline)]
+        ) == 2
+
+
+# ---------------------------------------------------------------------------
+# engine plumbing
+# ---------------------------------------------------------------------------
+
+class TestEngine:
+    def test_module_relpath_strips_src(self):
+        assert module_relpath(
+            Path("src/repro/core/update.py")
+        ) == "repro/core/update.py"
+        assert module_relpath(
+            Path("/abs/repo/src/repro/x.py")
+        ) == "repro/x.py"
+
+    def test_violations_sorted_by_location(self):
+        found = run(
+            """
+            def f(x=[]):
+                assert x
+            table._cells[0] = 1
+            """
+        )
+        assert rules_of(found) == ["R401", "R402", "R101"]
+        assert [v.line for v in found] == sorted(v.line for v in found)
+
+    def test_render_format(self):
+        violation = run("table._cells[0] = 1\n")[0]
+        rendered = violation.render()
+        assert rendered.startswith("repro/other/module.py:1:1: R101")
+
+    def test_repo_tree_is_clean(self):
+        # The merge gate: the shipped tree must pass its own checker.
+        assert main(["src", "--no-baseline"]) == 0

@@ -7,6 +7,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.check.lockset import LockDisciplineError, LocksetRWLock
 from repro.core.concurrent import ConcurrentVisionEmbedder, RWLock
 
 
@@ -87,6 +88,198 @@ class TestRWLock:
             pass
         with lock.write():
             pass
+
+
+class TestLocksetRWLock:
+    """Dynamic lock-discipline checking (the runtime counterpart of R3).
+
+    LocksetRWLock raises a typed error *at the misuse site* for patterns
+    that would deadlock or corrupt a plain RWLock, so these edge cases
+    are testable without hanging the suite.
+    """
+
+    def test_drop_in_happy_path(self):
+        lock = LocksetRWLock()
+        with lock.read():
+            assert lock.held_by_current_thread() == (1, 0)
+        with lock.write():
+            assert lock.held_by_current_thread() == (0, 1)
+        lock.assert_quiescent()
+
+    def test_read_write_upgrade_raises(self):
+        # Upgrading read -> write self-deadlocks under writer preference:
+        # the writer waits for readers to drain, but *is* the reader.
+        lock = LocksetRWLock()
+        lock.acquire_read()
+        with pytest.raises(LockDisciplineError, match="upgrade"):
+            lock.acquire_write()
+        lock.release_read()
+        lock.assert_quiescent()
+
+    def test_write_reentrancy_raises(self):
+        # RWLock is not reentrant: a second acquire_write on the owning
+        # thread waits on its own holder forever.
+        lock = LocksetRWLock()
+        lock.acquire_write()
+        with pytest.raises(LockDisciplineError, match="re-entrant"):
+            lock.acquire_write()
+        lock.release_write()
+        lock.assert_quiescent()
+
+    def test_read_under_own_write_raises(self):
+        lock = LocksetRWLock()
+        lock.acquire_write()
+        with pytest.raises(LockDisciplineError, match="write lock"):
+            lock.acquire_read()
+        lock.release_write()
+
+    def test_reentrant_read_with_queued_writer_raises(self):
+        # Re-entrant reads are fine on a quiet lock but deadlock once a
+        # writer queues: preference blocks the inner read, and the outer
+        # read never releases -> cycle. The lockset flags the inner read.
+        lock = LocksetRWLock()
+        lock.acquire_read()
+        writer_waiting = threading.Event()
+
+        def writer():
+            writer_waiting.set()
+            with lock.write():
+                pass
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        writer_waiting.wait()
+        # Poll: the writer thread must actually be queued inside
+        # acquire_write before the inner read is attempted.
+        for _ in range(200):
+            if lock._writers_waiting:
+                break
+            time.sleep(0.005)
+        assert lock._writers_waiting == 1
+        with pytest.raises(LockDisciplineError, match="writer is queued"):
+            lock.acquire_read()
+        lock.release_read()
+        thread.join(timeout=2)
+        lock.assert_quiescent()
+
+    def test_reentrant_read_allowed_when_uncontended(self):
+        lock = LocksetRWLock()
+        with lock.read():
+            with lock.read():
+                assert lock.held_by_current_thread() == (2, 0)
+        lock.assert_quiescent()
+
+    def test_unmatched_releases_raise(self):
+        lock = LocksetRWLock()
+        with pytest.raises(LockDisciplineError, match="release_read"):
+            lock.release_read()
+        with pytest.raises(LockDisciplineError, match="release_write"):
+            lock.release_write()
+
+    def test_assert_quiescent_reports_leak(self):
+        lock = LocksetRWLock()
+        lock.acquire_read()
+        with pytest.raises(LockDisciplineError, match="unbalanced"):
+            lock.assert_quiescent()
+        lock.release_read()
+        lock.assert_quiescent()
+
+    def test_history_records_events(self):
+        lock = LocksetRWLock()
+        with lock.write():
+            pass
+        with lock.read():
+            pass
+        events = [event for _, event, _, _ in lock.history]
+        assert events == [
+            "acquire_write", "release_write",
+            "acquire_read", "release_read",
+        ]
+
+    def test_writer_preference_preserved(self):
+        # The instrumented lock must keep the base semantics: a queued
+        # writer still blocks late readers on other threads.
+        lock = LocksetRWLock()
+        lock.acquire_read()
+        reader_done = threading.Event()
+
+        def writer():
+            with lock.write():
+                pass
+
+        def late_reader():
+            with lock.read():
+                reader_done.set()
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        for _ in range(200):
+            if lock._writers_waiting:
+                break
+            time.sleep(0.005)
+        reader_thread = threading.Thread(target=late_reader)
+        reader_thread.start()
+        time.sleep(0.05)
+        assert not reader_done.is_set()
+        lock.release_read()
+        writer_thread.join(timeout=2)
+        reader_thread.join(timeout=2)
+        assert reader_done.is_set()
+        lock.assert_quiescent()
+
+    def test_embedder_workload_obeys_discipline(self):
+        # Swap the instrumented lock in for the rebuild gate and drive a
+        # real mixed workload; every acquisition must balance.
+        n = 300
+        table = ConcurrentVisionEmbedder(n, 8, seed=12)
+        gate = LocksetRWLock()
+        table._rebuild_gate = gate
+        items = list(_pairs(n, 12).items())
+        errors = []
+
+        def writer(chunk):
+            try:
+                for key, value in chunk:
+                    table.insert(key, value)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        def reader():
+            try:
+                for key, _ in items[:50]:
+                    table.lookup(key) if key in table else None
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(items[i::3],))
+            for i in range(3)
+        ] + [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        table.reconstruct()  # exercise the write side of the gate too
+        gate.assert_quiescent()
+        table.check_invariants()
+
+
+class TestUpdateMutexReentrancy:
+    def test_reconstruct_reenters_update_mutex(self):
+        # insert()/update() hold the update mutex when a failed walk
+        # triggers auto-reconstruction, which re-acquires it — the mutex
+        # must be an RLock or the embedder deadlocks against itself.
+        n = 200
+        table = ConcurrentVisionEmbedder(n, 8, seed=14)
+        items = list(_pairs(n, 14).items())
+        for key, value in items[: n // 2]:
+            table.insert(key, value)
+        with table._update_mutex:
+            table.reconstruct()  # second acquisition on the same thread
+        table.check_invariants()
+        for key, value in items[: n // 2]:
+            assert table.lookup(key) == value
 
 
 def _pairs(n, seed):
