@@ -12,7 +12,14 @@ AST-based linter with repo-specific rules:
 - **R3** (``rules_locks``) — RWLock context-manager + ordering
   discipline (dynamic counterpart: :mod:`repro.check.lockset`),
 - **R4** (``rules_hygiene``) — mutable defaults, runtime asserts,
-  ``__all__`` drift.
+  ``__all__`` drift, stray ``print()``,
+- **R5** (``rules_invariant``) — interprocedural XOR-invariant dataflow
+  over the write paths (:mod:`repro.check.dataflow`).
+
+Beyond the static rules, two dynamic checkers share the same CLI: the
+vector-clock race detector (:mod:`repro.check.vectorclock`, ``--races``)
+and the deterministic schedule explorer (:mod:`repro.check.scheduler`,
+``--explore``).
 
 Suppressions are per-line (``# repro: noqa[R101] -- why``) and require a
 justification; pre-existing debt is ratcheted down through a baseline
@@ -27,37 +34,90 @@ from repro.check.baseline import (
     write_baseline,
 )
 from repro.check.cli import main
+from repro.check.dataflow import ProjectModel, build_project
 from repro.check.engine import (
     CheckConfig,
     CheckedFile,
+    PROJECT_RULES,
     RULES,
     check_paths,
     check_source,
+    check_sources,
     iter_python_files,
     module_relpath,
 )
 from repro.check.lockset import LockDisciplineError, LocksetRWLock
 from repro.check.pragmas import PragmaIndex, Suppression, parse_pragmas
+from repro.check.scheduler import (
+    CooperativeMutex,
+    CooperativeRWLock,
+    ExplorationResult,
+    Scenario,
+    ScheduleError,
+    ScheduleResult,
+    SchedulerRun,
+    YieldingValueTable,
+    embedder_scenario,
+    explore,
+    gate_bypass_scenario,
+    run_schedule,
+)
+from repro.check.vectorclock import (
+    BENIGN_RACES,
+    ClockedMutex,
+    ClockedRWLock,
+    ClockedValueTable,
+    RaceDetector,
+    RaceRecord,
+    TracedThread,
+    VectorClock,
+    instrument_concurrent,
+)
 from repro.check.violations import RULE_CATALOGUE, Violation
 
 __all__ = [
+    "BENIGN_RACES",
     "Baseline",
     "BaselineEntry",
     "CheckConfig",
     "CheckedFile",
+    "ClockedMutex",
+    "ClockedRWLock",
+    "ClockedValueTable",
+    "CooperativeMutex",
+    "CooperativeRWLock",
+    "ExplorationResult",
     "LockDisciplineError",
     "LocksetRWLock",
+    "PROJECT_RULES",
     "PragmaIndex",
+    "ProjectModel",
     "RULES",
     "RULE_CATALOGUE",
+    "RaceDetector",
+    "RaceRecord",
+    "Scenario",
+    "ScheduleError",
+    "ScheduleResult",
+    "SchedulerRun",
     "Suppression",
+    "TracedThread",
+    "VectorClock",
     "Violation",
+    "YieldingValueTable",
+    "build_project",
     "check_paths",
     "check_source",
+    "check_sources",
+    "embedder_scenario",
+    "explore",
+    "gate_bypass_scenario",
+    "instrument_concurrent",
     "iter_python_files",
     "load_baseline",
     "main",
     "module_relpath",
     "parse_pragmas",
+    "run_schedule",
     "write_baseline",
 ]

@@ -1,8 +1,15 @@
 """Command-line entry point: ``python -m repro.check``.
 
+Besides the static rules, ``--races`` runs the vector-clock race
+detector over a canned concurrent workload and ``--explore`` runs the
+deterministic schedule explorer over the canned scenarios — the dynamic
+halves of the concurrency toolchain (docs/static_analysis.md, "Race
+detector & schedule explorer").
+
 Exit codes: 0 — clean (possibly via justified suppressions/baseline);
-1 — violations, stale baseline entries, or unjustified baseline entries;
-2 — usage errors (unknown path, malformed baseline file).
+1 — violations, stale baseline entries, unjustified baseline entries,
+real races, or failing schedules; 2 — usage errors (unknown path,
+malformed baseline file).
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.check.baseline import load_baseline, write_baseline
 from repro.check.engine import CheckConfig, check_paths
@@ -61,7 +68,108 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--races", action="store_true",
+        help=(
+            "also run the vector-clock race detector over a canned "
+            "concurrent insert/lookup workload (exit 1 on real races; "
+            "the documented benign race is reported separately)"
+        ),
+    )
+    parser.add_argument(
+        "--explore", action="store_true",
+        help=(
+            "also run the deterministic schedule explorer over the "
+            "canned concurrency scenarios (exit 1 on failing schedules)"
+        ),
+    )
+    parser.add_argument(
+        "--explore-mode", choices=("exhaustive", "pruned", "random"),
+        default="exhaustive",
+        help="schedule enumeration strategy (default exhaustive)",
+    )
+    parser.add_argument(
+        "--max-schedules", type=int, default=150, metavar="N",
+        help="schedule budget per explored scenario (default 150)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for --explore-mode random (default 0)",
+    )
     return parser
+
+
+def _run_races() -> Dict[str, Any]:
+    """Race-check a canned concurrent workload; returns a JSON section."""
+    import threading
+
+    from repro.check.vectorclock import (
+        RaceDetector,
+        TracedThread,
+        instrument_concurrent,
+    )
+    from repro.core.concurrent import ConcurrentVisionEmbedder
+
+    detector = RaceDetector()
+    embedder = ConcurrentVisionEmbedder(512, 8, seed=3)
+    for i in range(64):
+        embedder.insert(i + 1, (i * 7) % 256)
+    instrument_concurrent(embedder, detector)
+    barrier = threading.Barrier(3)
+
+    def writer() -> None:
+        barrier.wait()
+        for i in range(64):
+            embedder.update(i + 1, (i * 11) % 256)
+
+    def reader() -> None:
+        barrier.wait()
+        for i in range(512):
+            embedder.lookup(i % 64 + 1)
+
+    threads = [
+        TracedThread(detector, writer, name="writer"),
+        TracedThread(detector, reader, name="reader"),
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    for thread in threads:
+        thread.join()
+    section: Dict[str, Any] = dict(detector.summary())
+    section["race_reports"] = [
+        record.describe() for record in detector.races[:5]
+    ]
+    return section
+
+
+def _run_explore(
+    mode: str, max_schedules: int, seed: int
+) -> Dict[str, Any]:
+    """Explore the canned scenarios; returns a JSON section."""
+    from repro.check.scheduler import (
+        embedder_scenario,
+        explore,
+        gate_bypass_scenario,
+    )
+
+    scenarios = {
+        "insert-lookup-reconstruct": embedder_scenario,
+        "gate-exclusion": gate_bypass_scenario,
+    }
+    section: Dict[str, Any] = {"mode": mode, "scenarios": {}}
+    failures: List[str] = []
+    for name, factory in scenarios.items():
+        outcome = explore(
+            factory, mode=mode, max_schedules=max_schedules, seed=seed,
+        )
+        section["scenarios"][name] = outcome.summary()
+        failures.extend(
+            f"{name}: schedule {list(result.schedule)}: {result.error}"
+            for result in outcome.failures[:5]
+        )
+    section["failure_reports"] = failures
+    return section
 
 
 def _render_text(violations: List[Violation]) -> str:
@@ -73,16 +181,19 @@ def _render_text(violations: List[Violation]) -> str:
     return "\n".join(lines)
 
 
-def _render_json(violations: List[Violation], stale: int) -> str:
-    return json.dumps(
-        {
-            "format": "repro-check/1",
-            "count": len(violations),
-            "stale_baseline_entries": stale,
-            "violations": [v.to_dict() for v in violations],
-        },
-        indent=2,
-    )
+def _render_json(
+    violations: List[Violation],
+    stale: int,
+    sections: Optional[Dict[str, Any]] = None,
+) -> str:
+    payload: Dict[str, Any] = {
+        "format": "repro-check/1",
+        "count": len(violations),
+        "stale_baseline_entries": stale,
+        "violations": [v.to_dict() for v in violations],
+    }
+    payload.update(sections or {})
+    return json.dumps(payload, indent=2)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -139,13 +250,50 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
 
+    sections: Dict[str, Any] = {}
+    dynamic_failures = 0
+    if args.races:
+        races = _run_races()
+        sections["races"] = races
+        dynamic_failures += int(races["races"])
+    if args.explore:
+        explored = _run_explore(
+            args.explore_mode, args.max_schedules, args.seed
+        )
+        sections["explore"] = explored
+        dynamic_failures += sum(
+            scenario["failures"]
+            for scenario in explored["scenarios"].values()
+        )
+
     if args.format == "json":
-        print(_render_json(violations, stale_count))
-    elif violations:
-        print(_render_text(violations))
+        print(_render_json(violations, stale_count, sections))
     else:
-        print("repro.check: clean")
-    return 1 if (violations or stale_count) else 0
+        if violations:
+            print(_render_text(violations))
+        if "races" in sections:
+            races = sections["races"]
+            print(
+                f"races: {races['races']} real, {races['benign']} benign "
+                f"(allowlisted), {races['threads']} thread(s), "
+                f"{races['locations']} location(s)"
+            )
+            for report in races["race_reports"]:
+                print(report)
+        if "explore" in sections:
+            explored = sections["explore"]
+            for name, summary in explored["scenarios"].items():
+                print(
+                    f"explore[{name}]: {summary['schedules']} schedule(s) "
+                    f"({summary['distinct']} distinct, mode "
+                    f"{summary['mode']}), {summary['failures']} failing, "
+                    f"{summary['deadlocks']} deadlock(s)"
+                )
+            for report in explored["failure_reports"]:
+                print(report)
+        if not violations and not dynamic_failures:
+            print("repro.check: clean")
+    return 1 if (violations or stale_count or dynamic_failures) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

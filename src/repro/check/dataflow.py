@@ -1,0 +1,374 @@
+"""Interprocedural dataflow over the checked project: who writes cells?
+
+The R1xx rules are per-file: they see ``table.xor(...)`` and judge the
+*site*. The R5xx invariant rules need more — ``self._run_update(handle)``
+in ``embedder.insert`` eventually XORs value-table cells three calls
+down, and whether *that* is safe depends on the exception edges between
+the assistant-table registration and the cell write. This module builds
+the project-wide model those rules consume:
+
+- every top-level function and method of every checked file becomes a
+  :class:`FunctionInfo` (nested ``def``\\ s — walk callbacks — are folded
+  into their enclosing function, matching the R2xx convention);
+- direct cell-write sites are collected per function (storage-attribute
+  assignment, or a mutating call on a table-ish receiver). A site whose
+  line carries a justified ``noqa[R101]``/``noqa[R5...]`` is *sanctioned*
+  and does not contribute write effects — the pragma blesses the whole
+  pathway, not just the line;
+- call sites are resolved conservatively: plain-name calls to
+  module-level functions (same file first, then project-wide),
+  ``self.method()`` through the class and its bases, and
+  ``<...plan>.apply()`` to the ``apply`` methods of ``*Plan`` classes.
+  Arbitrary object-method calls stay unresolved — precision over recall,
+  so a ``cache.clear()`` never smears write effects across the graph;
+- ``writes_cells`` is propagated to a fixed point over the call edges,
+  each function keeping a witness (the direct-write site it reaches) for
+  the diagnostics.
+
+:mod:`repro.check.rules_invariant` turns the model into R501–R503.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.check.engine import CheckConfig, CheckedFile
+
+__all__ = [
+    "WriteSite",
+    "CallSite",
+    "FunctionInfo",
+    "ProjectModel",
+    "build_project",
+    "receiver_text",
+    "is_table_receiver",
+    "storage_attribute",
+]
+
+#: receivers that look like a value-table handle: a bare/dotted name whose
+#: last segment is ``table``/``*_table``, or the raw storage attributes.
+_TABLE_SEGMENT_RE = re.compile(r"(^|_)table$")
+
+
+def receiver_text(node: ast.expr) -> Optional[str]:
+    """Dotted-name text of a receiver expression, or None if not name-ish."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def is_table_receiver(text: str, config: CheckConfig) -> bool:
+    """True if a dotted receiver looks like a value-table handle."""
+    last = text.rsplit(".", 1)[-1]
+    return bool(_TABLE_SEGMENT_RE.search(last)) or last in config.storage_attrs
+
+
+def storage_attribute(
+    node: ast.expr, config: CheckConfig
+) -> Optional[ast.Attribute]:
+    """The ``<expr>._cells`` / ``<expr>._words`` attribute inside a write
+    target, unwrapping subscripts (``x._cells[i] = v``)."""
+    current = node
+    while isinstance(current, ast.Subscript):
+        current = current.value
+    if (isinstance(current, ast.Attribute)
+            and current.attr in config.storage_attrs):
+        return current
+    return None
+
+
+@dataclass
+class WriteSite:
+    """One direct cell-write site inside a function body."""
+
+    node: ast.AST
+    line: int
+    #: ``storage-assign`` (raw ``_cells``/``_words`` target) or
+    #: ``mutator-call`` (``table.xor(...)`` etc.)
+    kind: str
+    #: human-readable form for diagnostics (``table.xor()``)
+    detail: str
+    #: the line carries a justified ``noqa[R101]``/``noqa[R5...]`` — the
+    #: site is sanctioned and contributes no write effect.
+    sanctioned: bool
+
+
+@dataclass
+class CallSite:
+    """One resolvable call site inside a function body."""
+
+    node: ast.Call
+    line: int
+    #: resolution shape: ``name`` / ``self-method`` / ``plan-apply``
+    kind: str
+    #: the called function/method name (``_run_update``, ``apply``)
+    name: str
+    #: source-ish text for diagnostics (``self._run_update``)
+    callee: str
+    #: resolved targets, filled in by :func:`build_project`
+    targets: List["FunctionInfo"] = field(default_factory=list)
+
+    def writing_targets(self) -> List["FunctionInfo"]:
+        return [target for target in self.targets if target.writes_cells]
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function or method (nested defs folded in)."""
+
+    checked: CheckedFile
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    qualname: str
+    class_name: Optional[str]
+    writes: List[WriteSite] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    #: fixed-point result: this function (transitively) writes cells
+    writes_cells: bool = False
+    #: where the writes bottom out, for diagnostics
+    write_witness: str = ""
+
+    @property
+    def rel(self) -> str:
+        return self.checked.rel
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_public(self) -> bool:
+        return not self.node.name.startswith("_")
+
+    @property
+    def key(self) -> str:
+        return f"{self.rel}::{self.qualname}"
+
+    def effective_writes(self) -> List[WriteSite]:
+        """The write sites that contribute effects (not sanctioned)."""
+        return [site for site in self.writes if not site.sanctioned]
+
+
+class ProjectModel:
+    """The interprocedural view over every checked file."""
+
+    def __init__(
+        self,
+        files: Dict[str, CheckedFile],
+        functions: Dict[str, FunctionInfo],
+        class_bases: Dict[str, List[str]],
+    ) -> None:
+        self.files = files
+        self.functions = functions
+        self.class_bases = class_bases
+
+    def functions_in(self, rel: str) -> List[FunctionInfo]:
+        return [info for info in self.functions.values()
+                if info.rel == rel]
+
+
+def _site_sanctioned(checked: CheckedFile, line: int) -> bool:
+    # Consuming on purpose: sanctioning a write site is the pragma doing
+    # its job (it stops the effect propagating to every caller), so it
+    # must count as used even when the local rule never fires — R003
+    # would otherwise demand the removal of a load-bearing suppression.
+    return (checked.pragmas.suppresses("R101", line)
+            or checked.pragmas.suppresses("R501", line)
+            or checked.pragmas.suppresses("R502", line)
+            or checked.pragmas.suppresses("R503", line))
+
+
+def _collect_functions(checked: CheckedFile) -> List[FunctionInfo]:
+    out: List[FunctionInfo] = []
+    for stmt in checked.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append(FunctionInfo(checked, stmt, stmt.name, None))
+        elif isinstance(stmt, ast.ClassDef):
+            for member in stmt.body:
+                if isinstance(member,
+                              (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out.append(FunctionInfo(
+                        checked, member, f"{stmt.name}.{member.name}",
+                        stmt.name,
+                    ))
+    return out
+
+
+def _base_name(base: ast.expr) -> Optional[str]:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def _collect_class_bases(checked: CheckedFile) -> Dict[str, List[str]]:
+    bases: Dict[str, List[str]] = {}
+    for stmt in checked.tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            bases[stmt.name] = [
+                name for name in (_base_name(b) for b in stmt.bases)
+                if name is not None
+            ]
+    return bases
+
+
+def _scan_body(info: FunctionInfo, config: CheckConfig) -> None:
+    checked = info.checked
+    for node in ast.walk(info.node):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            attribute = storage_attribute(target, config)
+            if attribute is not None:
+                info.writes.append(WriteSite(
+                    node=node, line=node.lineno, kind="storage-assign",
+                    detail=f"{attribute.attr} assignment",
+                    sanctioned=_site_sanctioned(checked, node.lineno),
+                ))
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            info.calls.append(CallSite(
+                node=node, line=node.lineno, kind="name",
+                name=func.id, callee=func.id,
+            ))
+            continue
+        if not isinstance(func, ast.Attribute):
+            continue
+        receiver = receiver_text(func.value)
+        if (func.attr in config.storage_mutators
+                and receiver is not None and receiver != "self"
+                and is_table_receiver(receiver, config)):
+            info.writes.append(WriteSite(
+                node=node, line=node.lineno, kind="mutator-call",
+                detail=f"{receiver}.{func.attr}()",
+                sanctioned=_site_sanctioned(checked, node.lineno),
+            ))
+            continue
+        if isinstance(func.value, ast.Name) and func.value.id == "self":
+            info.calls.append(CallSite(
+                node=node, line=node.lineno, kind="self-method",
+                name=func.attr, callee=f"self.{func.attr}",
+            ))
+            continue
+        if (func.attr == "apply" and receiver is not None
+                and receiver.rsplit(".", 1)[-1].lower().endswith("plan")):
+            info.calls.append(CallSite(
+                node=node, line=node.lineno, kind="plan-apply",
+                name=func.attr, callee=f"{receiver}.apply",
+            ))
+
+
+def _resolve_calls(
+    functions: Dict[str, FunctionInfo],
+    class_bases: Dict[str, List[str]],
+) -> None:
+    module_functions: Dict[str, List[FunctionInfo]] = {}
+    local_functions: Dict[Tuple[str, str], FunctionInfo] = {}
+    methods: Dict[Tuple[str, str], List[FunctionInfo]] = {}
+    plan_appliers: List[FunctionInfo] = []
+    for info in functions.values():
+        if info.class_name is None:
+            module_functions.setdefault(info.name, []).append(info)
+            local_functions[(info.rel, info.name)] = info
+        else:
+            methods.setdefault(
+                (info.class_name, info.name), []
+            ).append(info)
+            if (info.name == "apply"
+                    and info.class_name.endswith("Plan")):
+                plan_appliers.append(info)
+
+    def method_lookup(class_name: str, name: str,
+                      seen: Optional[set] = None) -> List[FunctionInfo]:
+        if seen is None:
+            seen = set()
+        if class_name in seen:
+            return []
+        seen.add(class_name)
+        found = methods.get((class_name, name))
+        if found:
+            return found
+        resolved: List[FunctionInfo] = []
+        for base in class_bases.get(class_name, []):
+            resolved.extend(method_lookup(base, name, seen))
+        return resolved
+
+    for info in functions.values():
+        for site in info.calls:
+            if site.kind == "name":
+                local = local_functions.get((info.rel, site.name))
+                if local is not None:
+                    site.targets = [local]
+                else:
+                    site.targets = list(
+                        module_functions.get(site.name, [])
+                    )
+            elif site.kind == "self-method":
+                if info.class_name is not None:
+                    site.targets = method_lookup(
+                        info.class_name, site.name
+                    )
+            elif site.kind == "plan-apply":
+                site.targets = list(plan_appliers)
+
+
+def _propagate_writes(functions: Dict[str, FunctionInfo]) -> None:
+    for info in functions.values():
+        effective = info.effective_writes()
+        if effective:
+            site = effective[0]
+            info.writes_cells = True
+            info.write_witness = (
+                f"{site.detail} in {info.qualname} "
+                f"({info.rel}:{site.line})"
+            )
+    changed = True
+    while changed:
+        changed = False
+        for info in functions.values():
+            if info.writes_cells:
+                continue
+            for site in info.calls:
+                writer = next(
+                    (t for t in site.targets if t.writes_cells), None
+                )
+                if writer is not None:
+                    info.writes_cells = True
+                    info.write_witness = writer.write_witness
+                    changed = True
+                    break
+
+
+def build_project(
+    checked_files: Sequence[CheckedFile], config: CheckConfig
+) -> ProjectModel:
+    """Build the interprocedural model over all parsed files."""
+    files: Dict[str, CheckedFile] = {c.rel: c for c in checked_files}
+    functions: Dict[str, FunctionInfo] = {}
+    class_bases: Dict[str, List[str]] = {}
+    for checked in checked_files:
+        for info in _collect_functions(checked):
+            functions[info.key] = info
+        # Bare class names are treated as project-unique; a collision
+        # only widens resolution (more targets), never hides a writer.
+        for name, bases in _collect_class_bases(checked).items():
+            class_bases.setdefault(name, []).extend(bases)
+    for info in functions.values():
+        _scan_body(info, config)
+    _resolve_calls(functions, class_bases)
+    _propagate_writes(functions)
+    return ProjectModel(files, functions, class_bases)

@@ -1,4 +1,4 @@
-"""The ``repro.check`` engine: file model, rule registry, orchestration.
+"""The ``repro.check`` engine: file model, rule registries, orchestration.
 
 A :class:`CheckedFile` bundles everything a rule needs — the parsed AST
 with parent links, the raw source lines, and the file's pragma index. The
@@ -6,9 +6,23 @@ engine parses each file once, runs every registered rule, applies ``noqa``
 suppressions, and reports suppressions that never fired (R003) so stale
 escapes cannot accumulate.
 
-Rules are plain functions ``(CheckedFile, CheckConfig) -> Iterable[Violation]``
-registered in :data:`RULES`; see the ``rules_*`` modules for the
-project-specific rule set and docs/static_analysis.md for the catalogue.
+Two rule registries exist:
+
+- :data:`RULES` — per-file rules ``(CheckedFile, CheckConfig) ->
+  Iterable[Violation]``; see the ``rules_*`` modules.
+- :data:`PROJECT_RULES` — project rules ``(ProjectModel, CheckConfig) ->
+  Iterable[Violation]`` that see every checked file at once through the
+  interprocedural model of :mod:`repro.check.dataflow` (call graph +
+  transitive cell-write effects). The R5xx invariant-dataflow rules live
+  here: a single file cannot show whether ``self._run_update(...)``
+  eventually XORs value-table cells three calls down.
+
+Checking is therefore two-phase: every file is parsed and run through the
+per-file rules first, then the project model is built over all parsed
+files and the project rules run, and only then is the single suppression
+pass applied — so a ``noqa[R501]`` works exactly like a ``noqa[R101]``
+and unused suppressions (R003) are judged against the *complete* finding
+set. docs/static_analysis.md has the catalogue.
 """
 
 from __future__ import annotations
@@ -26,7 +40,9 @@ __all__ = [
     "CheckConfig",
     "CheckedFile",
     "RULES",
+    "PROJECT_RULES",
     "check_source",
+    "check_sources",
     "check_paths",
     "iter_python_files",
     "module_relpath",
@@ -55,8 +71,12 @@ class CheckConfig:
         "xor", "set", "load_dense", "clear", "fill",
     )
     #: classes whose bodies may call raw acquire_*/release_* (R301) —
-    #: the lock implementations and their context-manager helpers.
-    lock_owner_classes: Tuple[str, ...] = ("RWLock", "LocksetRWLock")
+    #: the lock implementations and their context-manager helpers,
+    #: including the instrumented variants (lockset discipline checker,
+    #: vector-clock tracer, cooperative-scheduler lock).
+    lock_owner_classes: Tuple[str, ...] = (
+        "RWLock", "LocksetRWLock", "ClockedRWLock", "CooperativeRWLock",
+    )
     raw_lock_methods: Tuple[str, ...] = (
         "acquire_read", "release_read", "acquire_write", "release_write",
     )
@@ -64,6 +84,47 @@ class CheckConfig:
     assert_allowed_pattern: str = r"check|invariant|consisten|verify"
     #: test modules are skipped entirely when scanning a tree
     skip_dir_names: Tuple[str, ...] = ("__pycache__",)
+    #: modules whose suffix matches may call print() (R404); everything
+    #: else routes output through repro.obs hooks/exporters.
+    print_allowed_suffixes: Tuple[str, ...] = ("cli.py", "__main__.py")
+    #: the modules whose public mutation paths the R5xx invariant-dataflow
+    #: rules hold to the two-phase update protocol (PAPER.md §update).
+    invariant_modules: Tuple[str, ...] = (
+        "repro/core/update.py",
+        "repro/core/embedder.py",
+        "repro/core/static_build.py",
+    )
+    #: assistant-table methods that *register* a key/value (the slow-space
+    #: half of the invariant); a cell write after one of these must be
+    #: rollback-protected (R501).
+    assistant_registrations: Tuple[str, ...] = (
+        "add", "add_batch", "set_value",
+    )
+    #: assistant-table methods an exception handler may use to roll the
+    #: registration back (restoring A1^A2^A3 == value on the error edge).
+    assistant_rollbacks: Tuple[str, ...] = ("remove", "set_value", "clear")
+    #: the public mutation API of the embedder surface: calls resolved to
+    #: these *methods* are the sanctioned way into the write path, so R502
+    #: does not treat them as raw write-machinery escapes.
+    public_mutation_api: Tuple[str, ...] = (
+        "insert", "update", "delete", "insert_batch", "insert_many",
+        "bulk_load", "reconstruct", "from_pairs",
+    )
+    #: functions sanctioned to apply per-cell writes in a loop (R503):
+    #: the deferred-plan applier (all cells XOR one fixed V_delta) and the
+    #: reverse-peel assigners (each write lands in a still-unconstrained
+    #: cell, see static_build.py) are all-or-nothing by construction.
+    partial_write_appliers: Tuple[str, ...] = (
+        "UpdatePlan.apply", "assign_in_reverse", "assign_in_reverse_flat",
+    )
+
+    def is_assistant_receiver(self, text: str) -> bool:
+        """True if a dotted receiver looks like an assistant-table handle."""
+        return text.rsplit(".", 1)[-1].lstrip("_").endswith("assistant")
+
+    def is_invariant_module(self, rel: str) -> bool:
+        """True if ``rel`` is held to the R5xx invariant protocol."""
+        return any(rel.endswith(mod) for mod in self.invariant_modules)
 
     def allows_table_writes(self, rel: str) -> bool:
         """True if ``rel`` is a sanctioned value-table write-path module."""
@@ -157,13 +218,27 @@ class CheckedFile:
 
 Rule = Callable[[CheckedFile, CheckConfig], Iterable[Violation]]
 
-#: the registered rule set, populated by the ``rules_*`` modules below.
+#: the registered per-file rule set, populated by the ``rules_*`` modules.
 RULES: List[Rule] = []
+
+# A project rule receives the interprocedural model built over *every*
+# checked file (repro.check.dataflow.ProjectModel); typed loosely here to
+# keep engine <-> dataflow imports acyclic.
+ProjectRule = Callable[[object, CheckConfig], Iterable[Violation]]
+
+#: the registered project-wide rule set (``rules_invariant``).
+PROJECT_RULES: List[ProjectRule] = []
 
 
 def register(rule: Rule) -> Rule:
-    """Decorator adding a rule function to :data:`RULES`."""
+    """Decorator adding a per-file rule function to :data:`RULES`."""
     RULES.append(rule)
+    return rule
+
+
+def register_project(rule: ProjectRule) -> ProjectRule:
+    """Decorator adding a project-wide rule to :data:`PROJECT_RULES`."""
+    PROJECT_RULES.append(rule)
     return rule
 
 
@@ -173,9 +248,79 @@ def _load_rules() -> None:
     from repro.check import (  # noqa: F401  (registration side effect)
         rules_hotpath,
         rules_hygiene,
+        rules_invariant,
         rules_locks,
         rules_writes,
     )
+
+
+def check_sources(
+    sources: "Dict[str, str]",
+    config: Optional[CheckConfig] = None,
+) -> List[Violation]:
+    """Run the full two-phase check over a set of in-memory files.
+
+    ``sources`` maps module-relative posix paths (``repro/core/update.py``)
+    to source text. Phase one parses every file and runs the per-file
+    rules; phase two builds the interprocedural project model over all
+    files that parsed and runs the project rules. Suppression is a single
+    pass at the end so a ``noqa[R501]`` on a call site works exactly like
+    a ``noqa[R101]``, and unused suppressions (R003) are judged against
+    the complete finding set. Returns violations sorted by location.
+    """
+    if config is None:
+        config = CheckConfig()
+    if not RULES:
+        _load_rules()
+    found: List[Violation] = []
+    checked_files: List[CheckedFile] = []
+    by_rel: Dict[str, CheckedFile] = {}
+    for rel in sorted(sources):
+        source = sources[rel]
+        pragmas = parse_pragmas(source, rel)
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            found.append(Violation(
+                rule="R000", path=rel, line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"syntax error: {exc.msg}",
+            ))
+            continue
+        checked = CheckedFile(rel, source, tree, pragmas)
+        checked_files.append(checked)
+        by_rel[rel] = checked
+        found.extend(pragmas.problems)
+        for rule in RULES:
+            found.extend(rule(checked, config))
+    if checked_files:
+        from repro.check.dataflow import build_project
+        model = build_project(checked_files, config)
+        for project_rule in PROJECT_RULES:
+            found.extend(project_rule(model, config))
+    surviving: List[Violation] = []
+    for violation in found:
+        checked_file = by_rel.get(violation.path)
+        if (
+            checked_file is not None
+            and violation.rule[1] != "0"
+            and checked_file.pragmas.suppresses(
+                violation.rule, violation.line
+            )
+        ):
+            continue
+        surviving.append(violation)
+    for checked in checked_files:
+        for suppression in checked.pragmas.unused():
+            surviving.append(Violation(
+                rule="R003", path=checked.rel, line=suppression.line, col=1,
+                message=(
+                    "suppression never fired (noqa"
+                    f"[{','.join(suppression.codes)}]) — remove it"
+                ),
+                snippet=checked.snippet(suppression.line),
+            ))
+    return sorted(surviving, key=lambda v: (v.path, v.line, v.rule))
 
 
 def check_source(
@@ -186,42 +331,13 @@ def check_source(
     """Run every rule over one in-memory source file.
 
     ``rel`` is the module-relative posix path (``repro/core/update.py``);
-    the R101/R301 allowlists match against it. Returns the surviving
-    violations sorted by location — pragma problems first-class among
-    them, suppressed findings removed, unused suppressions added (R003).
+    the R101/R301 allowlists match against it. A single file still gets
+    the project rules — its project model just has one module in it.
+    Returns the surviving violations sorted by location — pragma problems
+    first-class among them, suppressed findings removed, unused
+    suppressions added (R003).
     """
-    if config is None:
-        config = CheckConfig()
-    if not RULES:
-        _load_rules()
-    pragmas = parse_pragmas(source, rel)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return [Violation(
-            rule="R000", path=rel, line=exc.lineno or 1,
-            col=(exc.offset or 0) + 1,
-            message=f"syntax error: {exc.msg}",
-        )]
-    checked = CheckedFile(rel, source, tree, pragmas)
-    found: List[Violation] = list(pragmas.problems)
-    for rule in RULES:
-        for violation in rule(checked, config):
-            if violation.rule[1] != "0" and pragmas.suppresses(
-                violation.rule, violation.line
-            ):
-                continue
-            found.append(violation)
-    for suppression in pragmas.unused():
-        found.append(Violation(
-            rule="R003", path=rel, line=suppression.line, col=1,
-            message=(
-                "suppression never fired (noqa"
-                f"[{','.join(suppression.codes)}]) — remove it"
-            ),
-            snippet=checked.snippet(suppression.line),
-        ))
-    return sorted(found, key=lambda v: (v.path, v.line, v.rule))
+    return check_sources({rel: source}, config)
 
 
 def module_relpath(path: Path) -> str:
@@ -261,10 +377,7 @@ def check_paths(
     """Check every python file under ``paths`` (files or directories)."""
     if config is None:
         config = CheckConfig()
-    violations: List[Violation] = []
+    sources: Dict[str, str] = {}
     for path in iter_python_files(paths, config):
-        source = path.read_text(encoding="utf-8")
-        violations.extend(
-            check_source(source, module_relpath(path), config)
-        )
-    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+        sources[module_relpath(path)] = path.read_text(encoding="utf-8")
+    return check_sources(sources, config)

@@ -11,6 +11,10 @@
   but never bound (stale export), a public binding missing from the list,
   or a package ``__init__`` with public imports and no ``__all__`` at all
   (CONTRIBUTING mandates module-level ``__all__`` in package inits).
+- R404: ``print()`` in library code. Only CLI modules (``cli.py`` /
+  ``__main__.py``) own stdout; everything else reports through the
+  ``repro.obs`` hooks/exporters so output stays machine-consumable and
+  library importers keep a quiet stdout.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ __all__ = [
     "check_mutable_defaults",
     "check_runtime_asserts",
     "check_all_drift",
+    "check_library_prints",
 ]
 
 _MUTABLE_CALLS = ("list", "dict", "set", "bytearray")
@@ -78,6 +83,25 @@ def check_runtime_asserts(
             "(asserts vanish under python -O); debug validators belong "
             "in a check_* helper",
         )
+
+
+@register
+def check_library_prints(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R404: ``print()`` outside a CLI module."""
+    if checked.rel.endswith(config.print_allowed_suffixes):
+        return
+    for node in ast.walk(checked.tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            yield checked.violation(
+                "R404", node,
+                "print() in library code — route output through the "
+                "repro.obs hooks/exporters (or move it to a cli.py/"
+                "__main__.py module)",
+            )
 
 
 def _module_bindings(tree: ast.Module) -> Set[str]:

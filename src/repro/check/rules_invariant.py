@@ -1,0 +1,204 @@
+"""R5 — XOR-invariant dataflow over the write paths (project rules).
+
+The invariant ``A1 ^ A2 ^ A3 == value`` lives in two halves: the value
+table holds the XOR equations, the assistant table holds the
+registrations that say which equations must hold. The R1xx rules police
+*who* may write cells; these rules police *when* — the orderings and
+exception edges that a per-file, per-line view cannot see:
+
+- **R501** — in the invariant modules, a public mutation path that
+  registers a key in the assistant table and afterwards reaches a
+  cell-write effect (directly or through calls, resolved by
+  :mod:`repro.check.dataflow`) must do so under a ``try`` whose handler
+  (or ``finally``) rolls the registration back — otherwise an exception
+  mid-write leaves a registered key whose equation never holds.
+- **R502** — the interprocedural R101: a call site in a non-sanctioned
+  module whose resolved targets transitively write cells escapes the
+  write-path encapsulation even though no mutating call appears on the
+  line. Calls that resolve only to the public mutation API
+  (``insert``/``update``/``bulk_load``/...) are the sanctioned front
+  door and pass.
+- **R503** (per-file) — a per-cell ``xor()``/``set()`` on a table handle
+  lexically inside a loop, outside the sanctioned all-or-nothing
+  appliers: a mid-loop exception leaves the invariant *partially*
+  applied, the exact hazard the deferred two-phase update exists to
+  avoid. Route per-cell writes through ``UpdatePlan.apply``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.check.dataflow import (
+    FunctionInfo,
+    ProjectModel,
+    is_table_receiver,
+    receiver_text,
+)
+from repro.check.engine import (
+    CheckConfig,
+    CheckedFile,
+    register,
+    register_project,
+)
+from repro.check.violations import Violation
+
+__all__ = [
+    "check_invariant_restore",
+    "check_write_escapes",
+    "check_partial_loop_writes",
+]
+
+#: the per-cell mutators R503 cares about — ``clear``/``load_dense``/
+#: ``fill`` replace the whole table atomically from the invariant's point
+#: of view and are R101's business, not a partial-application hazard.
+_PER_CELL_MUTATORS = ("xor", "set")
+
+
+def _assistant_calls(
+    info: FunctionInfo, methods: Tuple[str, ...], config: CheckConfig
+) -> List[ast.Call]:
+    """Calls of the named assistant-table methods inside ``info``."""
+    out: List[ast.Call] = []
+    for node in ast.walk(info.node):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in methods):
+            continue
+        receiver = receiver_text(node.func.value)
+        if receiver is not None and config.is_assistant_receiver(receiver):
+            out.append(node)
+    return out
+
+
+def _rollback_protected(
+    info: FunctionInfo, site: ast.AST, config: CheckConfig
+) -> bool:
+    """True if ``site`` sits in a ``try`` body whose handlers (or
+    ``finally``) roll the assistant registration back."""
+    checked = info.checked
+    child: ast.AST = site
+    for ancestor in checked.ancestors(site):
+        if isinstance(ancestor, ast.Try) and any(
+            child is stmt for stmt in ancestor.body
+        ):
+            recovery: List[ast.AST] = list(ancestor.handlers)
+            recovery.extend(ancestor.finalbody)
+            for block in recovery:
+                for node in ast.walk(block):
+                    if not (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr in config.assistant_rollbacks):
+                        continue
+                    receiver = receiver_text(node.func.value)
+                    if (receiver is not None
+                            and config.is_assistant_receiver(receiver)):
+                        return True
+        child = ancestor
+    return False
+
+
+@register_project
+def check_invariant_restore(
+    model: ProjectModel, config: CheckConfig
+) -> Iterator[Violation]:
+    """R501: registration followed by an unprotected cell-write effect."""
+    for info in model.functions.values():
+        if not config.is_invariant_module(info.rel) or not info.is_public:
+            continue
+        registrations = _assistant_calls(
+            info, config.assistant_registrations, config
+        )
+        if not registrations:
+            continue
+        first_registration = min(node.lineno for node in registrations)
+        registration_ids = {id(node) for node in registrations}
+        effects: List[Tuple[ast.AST, int, str]] = [
+            (site.node, site.line, site.detail)
+            for site in info.effective_writes()
+        ]
+        for call in info.calls:
+            writers = call.writing_targets()
+            if writers:
+                effects.append((
+                    call.node, call.line,
+                    f"{call.callee}() -> {writers[0].write_witness}",
+                ))
+        for node, line, detail in effects:
+            if line < first_registration or id(node) in registration_ids:
+                continue
+            if _rollback_protected(info, node, config):
+                continue
+            yield info.checked.violation(
+                "R501", node,
+                f"{info.qualname} registers in the assistant table (line "
+                f"{first_registration}) and then reaches a cell write via "
+                f"{detail} with no exception-edge rollback — wrap the "
+                "write in try/except restoring the assistant entry, or "
+                "the XOR invariant leaks on failure",
+            )
+
+
+@register_project
+def check_write_escapes(
+    model: ProjectModel, config: CheckConfig
+) -> Iterator[Violation]:
+    """R502: a call reaching cell writes from a non-sanctioned module."""
+    for info in model.functions.values():
+        if config.allows_table_writes(info.rel):
+            continue
+        for call in info.calls:
+            writers = call.writing_targets()
+            if not writers:
+                continue
+            if all(writer.name in config.public_mutation_api
+                   for writer in writers):
+                continue
+            witness = writers[0].write_witness
+            yield info.checked.violation(
+                "R502", call.node,
+                f"call {call.callee}() reaches value-table cell writes "
+                f"({witness}) from outside the sanctioned write-path "
+                "modules — go through the public mutation API "
+                "(insert/update/bulk_load/...) instead",
+            )
+
+
+@register
+def check_partial_loop_writes(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R503: a per-cell table write lexically inside a loop."""
+    if not config.is_invariant_module(checked.rel):
+        return
+    reported: set = set()
+    for loop in ast.walk(checked.tree):
+        if not isinstance(loop, (ast.For, ast.While)):
+            continue
+        for node in ast.walk(loop):
+            if id(node) in reported:
+                continue
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _PER_CELL_MUTATORS):
+                continue
+            receiver = receiver_text(node.func.value)
+            if (receiver is None or receiver == "self"
+                    or not is_table_receiver(receiver, config)):
+                continue
+            function = checked.enclosing_function(node)
+            if function is not None:
+                classes = checked.enclosing_classes(node)
+                qualname = (f"{classes[0]}.{function.name}" if classes
+                            else function.name)
+                if qualname in config.partial_write_appliers:
+                    continue
+            reported.add(id(node))
+            yield checked.violation(
+                "R503", node,
+                f"per-cell write {receiver}.{node.func.attr}() inside a "
+                "loop — an exception mid-loop leaves the XOR invariant "
+                "partially applied; apply deltas through UpdatePlan.apply "
+                "or a sanctioned all-or-nothing applier",
+            )

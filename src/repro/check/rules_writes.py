@@ -13,48 +13,17 @@ restore, replica replay) carry an inline justified ``noqa``.
 from __future__ import annotations
 
 import ast
-import re
-from typing import Iterator, Optional
+from typing import Iterator
 
+from repro.check.dataflow import (
+    is_table_receiver as _is_table_receiver,
+    receiver_text as _receiver_text,
+    storage_attribute as _storage_attribute,
+)
 from repro.check.engine import CheckConfig, CheckedFile, register
 from repro.check.violations import Violation
 
 __all__ = ["check_value_table_writes"]
-
-#: receivers that look like a value-table handle: a bare/dotted name whose
-#: last segment is ``table``/``*_table``, or the raw storage attributes.
-_TABLE_SEGMENT_RE = re.compile(r"(^|_)table$")
-
-
-def _receiver_text(node: ast.expr) -> Optional[str]:
-    """Dotted-name text of a receiver expression, or None if not name-ish."""
-    parts = []
-    current = node
-    while isinstance(current, ast.Attribute):
-        parts.append(current.attr)
-        current = current.value
-    if not isinstance(current, ast.Name):
-        return None
-    parts.append(current.id)
-    return ".".join(reversed(parts))
-
-
-def _is_table_receiver(text: str, config: CheckConfig) -> bool:
-    last = text.rsplit(".", 1)[-1]
-    return bool(_TABLE_SEGMENT_RE.search(last)) or last in config.storage_attrs
-
-
-def _storage_attribute(node: ast.expr, config: CheckConfig
-                       ) -> Optional[ast.Attribute]:
-    """The ``<expr>._cells`` / ``<expr>._words`` attribute inside a write
-    target, unwrapping subscripts (``x._cells[i] = v``)."""
-    current = node
-    while isinstance(current, ast.Subscript):
-        current = current.value
-    if (isinstance(current, ast.Attribute)
-            and current.attr in config.storage_attrs):
-        return current
-    return None
 
 
 @register

@@ -36,6 +36,14 @@ RULE_CATALOGUE: Dict[str, str] = {
     "R401": "mutable default argument",
     "R402": "assert used for runtime validation outside a check_* helper",
     "R403": "package __init__ __all__ drift (stale or missing export)",
+    "R404": "print() in library code outside a CLI module — route output "
+            "through repro.obs",
+    "R501": "cell-write effect after an assistant-table registration "
+            "without an exception-edge rollback (XOR invariant can leak)",
+    "R502": "call reaching value-table cell writes from outside the "
+            "sanctioned write-path modules (use the public mutation API)",
+    "R503": "per-cell table write inside a loop outside a sanctioned "
+            "all-or-nothing applier (partial application hazard)",
 }
 
 

@@ -30,7 +30,7 @@ reports that divergence.
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Optional, Tuple
+from typing import Any, ContextManager, Iterable, Optional, Tuple
 
 import numpy as np
 import numpy.typing as npt
@@ -133,8 +133,34 @@ class ConcurrentVisionEmbedder(VisionEmbedder):
         super().__init__(capacity, value_bits, config=config, seed=seed,
                          num_arrays=num_arrays, packed=packed, hooks=hooks)
         # Reentrant: insert/update may trigger reconstruct() internally.
-        self._update_mutex = threading.RLock()
-        self._rebuild_gate = RWLock()
+        # Annotated as a plain context manager so the instrumentation seam
+        # below can swap in traced/cooperative doubles.
+        self._update_mutex: ContextManager[Any] = threading.RLock()
+        self._rebuild_gate: RWLock = RWLock()
+
+    def instrument_sync(
+        self,
+        mutex: Optional[Any] = None,
+        gate: Optional[RWLock] = None,
+        table: Optional[Any] = None,
+    ) -> None:
+        """Swap sync primitives / the value table for instrumented doubles.
+
+        The seam the ``repro.check`` concurrency tooling plugs into: the
+        vector-clock race detector wraps all three
+        (:func:`repro.check.vectorclock.instrument_concurrent`) and the
+        schedule explorer substitutes cooperative locks and a yielding
+        table. ``mutex`` must be a reentrant context manager, ``gate`` an
+        :class:`RWLock` (usually a subclass), ``table`` a drop-in for the
+        value-table surface. Call while the structure is quiescent —
+        before any worker threads are started — or the swap itself races.
+        """
+        if mutex is not None:
+            self._update_mutex = mutex
+        if gate is not None:
+            self._rebuild_gate = gate
+        if table is not None:
+            self._table = table
 
     def set_hooks(self, hooks: Optional[WalkHooks]) -> None:
         # Serialised against mutations so a walk never sees the hooks (or

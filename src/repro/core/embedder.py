@@ -24,9 +24,10 @@ from __future__ import annotations
 import math
 import random
 import time
-from typing import Iterable, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.assistant_table import AssistantTable
 from repro.core.config import EmbedderConfig
@@ -99,7 +100,9 @@ class VisionEmbedder(ValueOnlyTable):
         self.num_arrays = num_arrays
         self.packed = packed
         width = max(1, math.ceil(capacity * self.config.space_factor / num_arrays))
-        table_class = PackedValueTable if packed else ValueTable
+        # Duck-typed slot: plain or packed table, and the repro.check
+        # tooling swaps in instrumented proxies via instrument_sync().
+        table_class: Any = PackedValueTable if packed else ValueTable
         self._table = table_class(width, value_bits, num_arrays)
         self._assistant = AssistantTable(width, num_arrays)
         self._seed = seed
@@ -187,7 +190,9 @@ class VisionEmbedder(ValueOnlyTable):
         handle = key_to_u64(key)
         return self._table.xor_sum(self._cells_for(handle))
 
-    def lookup_batch(self, keys: np.ndarray) -> np.ndarray:  # repro: hotpath
+    def lookup_batch(
+        self, keys: npt.NDArray[np.uint64]
+    ) -> npt.NDArray[np.uint64]:  # repro: hotpath
         """Vectorised lookup over a ``uint64`` key array."""
         index_arrays = self._hashes.indices_batch(np.asarray(keys, dtype=np.uint64))
         return self._table.lookup_batch(index_arrays)
@@ -249,7 +254,9 @@ class VisionEmbedder(ValueOnlyTable):
             self._check_value(bad)
         self._stats.note_batch(n)
 
-        def hash_rows(key_arr) -> list:
+        def hash_rows(
+            key_arr: npt.NDArray[np.uint64],
+        ) -> List[Tuple[Cell, ...]]:
             # One vectorised hashing pass, pre-assembled into per-key
             # cells tuples ((0, t0), (1, t1), ...).
             return list(zip(*(
@@ -480,8 +487,8 @@ class VisionEmbedder(ValueOnlyTable):
         """
         if method not in ("dynamic", "static"):
             raise ValueError("method must be 'dynamic' or 'static'")
-        keys = []
-        values = []
+        keys: List[int] = []
+        values: List[int] = []
         for key, value in self._assistant.pairs():
             keys.append(key)
             values.append(value)
@@ -532,7 +539,12 @@ class VisionEmbedder(ValueOnlyTable):
                     self._seed, method, elapsed, succeeded
                 )
 
-    def _try_rebuild(self, keys, values, index_cols) -> bool:
+    def _try_rebuild(
+        self,
+        keys: Sequence[int],
+        values: Sequence[int],
+        index_cols: Sequence[Sequence[int]],
+    ) -> bool:
         """One rebuild pass; False if any insert's update fails."""
         num_arrays = self.num_arrays
         for inserted, (key, value) in enumerate(zip(keys, values)):

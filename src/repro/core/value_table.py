@@ -9,9 +9,10 @@ what the paper's space figures measure, not Python object overhead.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Any, Iterable, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 Cell = Tuple[int, int]
 
@@ -19,7 +20,9 @@ Cell = Tuple[int, int]
 class ValueTable:
     """Three arrays, each ``width`` cells of ``value_bits``-bit integers."""
 
-    def __init__(self, width: int, value_bits: int, num_arrays: int = 3):
+    def __init__(
+        self, width: int, value_bits: int, num_arrays: int = 3
+    ) -> None:
         if width <= 0:
             raise ValueError("width must be positive")
         if not 1 <= value_bits <= 64:
@@ -30,7 +33,9 @@ class ValueTable:
         self.value_bits = value_bits
         self.num_arrays = num_arrays
         self.value_mask = (1 << value_bits) - 1
-        self._cells = np.zeros((num_arrays, width), dtype=np.uint64)
+        self._cells: npt.NDArray[np.uint64] = np.zeros(
+            (num_arrays, width), dtype=np.uint64
+        )
 
     @property
     def num_cells(self) -> int:
@@ -66,7 +71,9 @@ class ValueTable:
             result ^= int(self._cells[cell])
         return result
 
-    def lookup_batch(self, index_arrays: Sequence[np.ndarray]) -> np.ndarray:  # repro: hotpath
+    def lookup_batch(
+        self, index_arrays: Sequence[npt.NDArray[Any]]
+    ) -> npt.NDArray[np.uint64]:  # repro: hotpath
         """Vectorised lookup: XOR across arrays at per-array index vectors.
 
         ``index_arrays[j]`` holds, for each queried key, its index into
@@ -74,7 +81,9 @@ class ValueTable:
         """
         if len(index_arrays) != self.num_arrays:
             raise ValueError("need one index vector per array")
-        result = self._cells[0][np.asarray(index_arrays[0], dtype=np.int64)].copy()
+        result: npt.NDArray[np.uint64] = self._cells[0][
+            np.asarray(index_arrays[0], dtype=np.int64)
+        ].copy()
         for j in range(1, self.num_arrays):
             result ^= self._cells[j][np.asarray(index_arrays[j], dtype=np.int64)]
         return result
@@ -83,11 +92,11 @@ class ValueTable:
         """Zero every cell (used by reconstruction)."""
         self._cells.fill(0)
 
-    def to_dense(self) -> np.ndarray:
+    def to_dense(self) -> npt.NDArray[np.uint64]:
         """The cell matrix as (num_arrays, width) uint64 (persistence)."""
         return self._cells.copy()
 
-    def load_dense(self, cells: np.ndarray) -> None:
+    def load_dense(self, cells: npt.NDArray[Any]) -> None:
         """Restore from a dense cell matrix (persistence, bulk writes)."""
         if cells.shape != (self.num_arrays, self.width):
             raise ValueError("dense matrix shape mismatch")

@@ -17,6 +17,7 @@ from repro.check import (
     CheckConfig,
     Violation,
     check_source,
+    check_sources,
     load_baseline,
     main,
     write_baseline,
@@ -591,3 +592,219 @@ class TestEngine:
     def test_repo_tree_is_clean(self):
         # The merge gate: the shipped tree must pass its own checker.
         assert main(["src", "--no-baseline"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# R404 — print() in library code
+# ---------------------------------------------------------------------------
+
+class TestR404:
+    def test_library_print_flagged(self):
+        found = run("def report(x):\n    print(x)\n")
+        assert rules_of(found) == ["R404"]
+
+    def test_cli_module_exempt(self):
+        found = run("print('usage')\n", rel="repro/check/cli.py")
+        assert found == []
+
+    def test_dunder_main_exempt(self):
+        found = run("print('hi')\n", rel="repro/bench/__main__.py")
+        assert found == []
+
+    def test_print_in_docstring_not_flagged(self):
+        found = run(
+            '''
+            def demo():
+                """Example::
+
+                    print(table.lookup(1))
+                """
+                return 1
+            '''
+        )
+        assert found == []
+
+    def test_method_named_print_not_flagged(self):
+        found = run("def f(writer):\n    writer.print('x')\n")
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# R5xx — interprocedural invariant dataflow
+# ---------------------------------------------------------------------------
+
+class TestR501InvariantRestore:
+    """Registration followed by cell writes needs an exception-edge
+    rollback; rel must be an invariant module (update/embedder/static_build)."""
+
+    def test_unprotected_write_after_registration_flagged(self):
+        found = run(
+            """
+            class Emb:
+                def insert(self, key, value):
+                    self._assistant.add(key, value, ())
+                    self._table.xor((0, 1), value)
+            """,
+            rel="repro/core/update.py",
+        )
+        assert rules_of(found) == ["R501"]
+
+    def test_rollback_protected_write_clean(self):
+        found = run(
+            """
+            class Emb:
+                def insert(self, key, value):
+                    self._assistant.add(key, value, ())
+                    try:
+                        self._table.xor((0, 1), value)
+                    except ValueError:
+                        self._assistant.remove(key)
+                        raise
+            """,
+            rel="repro/core/update.py",
+        )
+        assert found == []
+
+    def test_transitive_write_through_call_flagged(self):
+        found = run(
+            """
+            def _apply_delta(table, value):
+                table.xor((0, 1), value)
+
+            class Emb:
+                def insert(self, key, value):
+                    self._assistant.add(key, value, ())
+                    _apply_delta(self._table, value)
+            """,
+            rel="repro/core/update.py",
+        )
+        assert rules_of(found) == ["R501"]
+        assert "_apply_delta" in found[0].message
+
+    def test_write_before_registration_clean(self):
+        found = run(
+            """
+            class Emb:
+                def insert(self, key, value):
+                    self._table.xor((0, 1), value)
+                    self._assistant.add(key, value, ())
+            """,
+            rel="repro/core/update.py",
+        )
+        assert found == []
+
+    def test_private_function_not_checked(self):
+        found = run(
+            """
+            class Emb:
+                def _rebuild_one(self, key, value):
+                    self._assistant.add(key, value, ())
+                    self._table.xor((0, 1), value)
+            """,
+            rel="repro/core/update.py",
+        )
+        assert found == []
+
+    def test_noqa_suppresses_without_r003(self):
+        found = run(
+            """
+            class Emb:
+                def insert(self, key, value):
+                    self._assistant.add(key, value, ())
+                    self._table.xor((0, 1), value)  # repro: noqa[R501] -- caller retries idempotently
+            """,
+            rel="repro/core/update.py",
+        )
+        assert found == []
+
+
+class TestR502WriteEscapes:
+    def test_cross_module_write_escape_flagged(self):
+        found = check_sources({
+            "repro/core/update.py": (
+                "def rebuild_cells(table):\n"
+                "    table.xor((0, 1), 5)\n"
+            ),
+            "repro/analysis/tool.py": (
+                "from repro.core.update import rebuild_cells\n\n\n"
+                "def summarise(table):\n"
+                "    rebuild_cells(table)\n"
+            ),
+        })
+        assert rules_of(found) == ["R502"]
+        assert found[0].path == "repro/analysis/tool.py"
+        assert "rebuild_cells" in found[0].message
+
+    def test_public_mutation_api_is_front_door(self):
+        found = check_sources({
+            "repro/core/update.py": (
+                "def insert(table, key, value):\n"
+                "    table.xor((0, 1), value)\n"
+            ),
+            "repro/analysis/tool.py": (
+                "def drive(table):\n"
+                "    insert(table, 1, 2)\n"
+            ),
+        })
+        assert found == []
+
+    def test_sanctioned_write_site_does_not_cascade(self):
+        # A noqa[R101] on the write site blesses the whole call chain —
+        # callers of the sanctioned function are not R502 escapes.
+        found = check_sources({
+            "repro/core/update.py": (
+                "def restore(table, dense):\n"
+                "    table.load_dense(dense)"
+                "  # repro: noqa[R101] -- snapshot restore\n"
+            ),
+            "repro/analysis/tool.py": (
+                "def roundtrip(table, dense):\n"
+                "    restore(table, dense)\n"
+            ),
+        })
+        assert found == []
+
+
+class TestR503PartialLoopWrites:
+    def test_loop_write_flagged(self):
+        found = run(
+            """
+            def spray(table, cells, delta):
+                for cell in cells:
+                    table.xor(cell, delta)
+            """,
+            rel="repro/core/update.py",
+        )
+        assert rules_of(found) == ["R503"]
+
+    def test_update_plan_apply_exempt(self):
+        found = run(
+            """
+            class UpdatePlan:
+                def apply(self, table):
+                    for cell in self.path:
+                        table.xor(cell, self.delta)
+            """,
+            rel="repro/core/update.py",
+        )
+        assert found == []
+
+    def test_single_write_outside_loop_clean(self):
+        found = run(
+            "def fix(table):\n    table.xor((0, 1), 3)\n",
+            rel="repro/core/update.py",
+        )
+        assert found == []
+
+    def test_non_invariant_module_not_checked(self):
+        # Outside the invariant modules the loop hazard is R101's
+        # business (and R101 fires there instead).
+        found = run(
+            """
+            def spray(table, cells, delta):
+                for cell in cells:
+                    table.xor(cell, delta)
+            """,
+            rel="repro/other/module.py",
+        )
+        assert rules_of(found) == ["R101"]

@@ -1,4 +1,12 @@
-"""Thread-safe embedder: RWLock semantics and concurrent workloads."""
+"""Thread-safe embedder: RWLock semantics and concurrent workloads.
+
+The RWLock exclusion/fairness properties are checked with the
+deterministic schedule explorer (:mod:`repro.check.scheduler`) instead of
+``time.sleep()`` races: each property is phrased as a postcondition over
+an event log and asserted on *every* interleaving the explorer
+enumerates, so a regression fails on the exact schedule that breaks it
+rather than flaking with timing.
+"""
 
 import random
 import threading
@@ -8,7 +16,18 @@ import numpy as np
 import pytest
 
 from repro.check.lockset import LockDisciplineError, LocksetRWLock
+from repro.check.scheduler import CooperativeRWLock, Scenario, explore
 from repro.core.concurrent import ConcurrentVisionEmbedder, RWLock
+
+
+def _explore_clean(factory, max_schedules=300):
+    """Explore every schedule; fail on the first violated postcondition."""
+    outcome = explore(factory, max_schedules=max_schedules)
+    failures = outcome.failures
+    assert not failures, failures[0].error
+    assert outcome.schedules > 1  # the property was actually exercised
+    assert outcome.schedules < max_schedules  # tree fully enumerated
+    return outcome
 
 
 class TestRWLock:
@@ -20,67 +39,105 @@ class TestRWLock:
         lock.release_read()
 
     def test_writer_excludes_readers(self):
-        lock = RWLock()
-        observed = []
-        lock.acquire_write()
+        # In no interleaving does a reader enter the write section.
+        def factory(run):
+            lock = CooperativeRWLock(run)
+            log = []
 
-        def reader():
-            with lock.read():
-                observed.append("read")
+            def writer():
+                with lock.write():
+                    log.append("w-in")
+                    run.yield_point()
+                    log.append("w-out")
 
-        thread = threading.Thread(target=reader)
-        thread.start()
-        time.sleep(0.05)
-        assert observed == []  # reader blocked behind the writer
-        lock.release_write()
-        thread.join(timeout=2)
-        assert observed == ["read"]
+            def reader():
+                with lock.read():
+                    log.append("r-in")
+
+            def check():
+                w_in, w_out = log.index("w-in"), log.index("w-out")
+                if w_in < log.index("r-in") < w_out:
+                    raise AssertionError(
+                        f"reader entered the write section: {log}"
+                    )
+
+            return Scenario(
+                tasks={"writer": writer, "reader": reader}, check=check
+            )
+
+        _explore_clean(factory)
 
     def test_writer_waits_for_readers(self):
-        lock = RWLock()
-        lock.acquire_read()
-        acquired = threading.Event()
+        # In no interleaving does the writer enter the read section.
+        def factory(run):
+            lock = CooperativeRWLock(run)
+            log = []
 
-        def writer():
-            with lock.write():
-                acquired.set()
+            def reader():
+                with lock.read():
+                    log.append("r-in")
+                    run.yield_point()
+                    log.append("r-out")
 
-        thread = threading.Thread(target=writer)
-        thread.start()
-        time.sleep(0.05)
-        assert not acquired.is_set()
-        lock.release_read()
-        thread.join(timeout=2)
-        assert acquired.is_set()
+            def writer():
+                with lock.write():
+                    log.append("w-in")
+
+            def check():
+                r_in, r_out = log.index("r-in"), log.index("r-out")
+                if r_in < log.index("w-in") < r_out:
+                    raise AssertionError(
+                        f"writer entered the read section: {log}"
+                    )
+
+            return Scenario(
+                tasks={"reader": reader, "writer": writer}, check=check
+            )
+
+        _explore_clean(factory)
 
     def test_writer_preference_blocks_new_readers(self):
-        lock = RWLock()
-        lock.acquire_read()
-        writer_started = threading.Event()
-        reader_done = threading.Event()
+        # Once a writer is waiting, a late reader never overtakes it.
+        # "w-want" is appended in the same atomic segment that parks the
+        # writer on acquire_write, so any event logged between "w-want"
+        # and "w-in" happened while the writer was provably waiting.
+        def factory(run):
+            lock = CooperativeRWLock(run)
+            log = []
 
-        def writer():
-            writer_started.set()
-            with lock.write():
-                pass
+            def holder():
+                with lock.read():
+                    log.append("r1-in")
+                    run.yield_point()
+                    run.yield_point()
+                    log.append("r1-out")
 
-        def late_reader():
-            with lock.read():
-                reader_done.set()
+            def writer():
+                log.append("w-want")
+                with lock.write():
+                    log.append("w-in")
 
-        writer_thread = threading.Thread(target=writer)
-        writer_thread.start()
-        writer_started.wait()
-        time.sleep(0.05)
-        reader_thread = threading.Thread(target=late_reader)
-        reader_thread.start()
-        time.sleep(0.05)
-        # Late reader queues behind the waiting writer.
-        assert not reader_done.is_set()
-        lock.release_read()
-        writer_thread.join(timeout=2)
-        reader_thread.join(timeout=2)
-        assert reader_done.is_set()
+            def late_reader():
+                with lock.read():
+                    log.append("r2-in")
+
+            def check():
+                w_want, w_in = log.index("w-want"), log.index("w-in")
+                if w_want < log.index("r2-in") < w_in:
+                    raise AssertionError(
+                        f"late reader overtook a waiting writer: {log}"
+                    )
+
+            return Scenario(
+                tasks={
+                    "holder": holder,
+                    "writer": writer,
+                    "late_reader": late_reader,
+                },
+                check=check,
+            )
+
+        _explore_clean(factory, max_schedules=2000)
 
     def test_context_managers(self):
         lock = RWLock()
