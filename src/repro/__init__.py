@@ -29,6 +29,7 @@ from repro.core import (
     KeyNotFound,
     ReconstructionFailed,
     ReproError,
+    ShardedEmbedder,
     SpaceExhausted,
     UpdateFailure,
     VisionEmbedder,
@@ -43,6 +44,7 @@ __version__ = "1.0.0"
 __all__ = [
     "VisionEmbedder",
     "ConcurrentVisionEmbedder",
+    "ShardedEmbedder",
     "EmbedderConfig",
     "DepthPolicy",
     "Bloomier",

@@ -18,7 +18,13 @@ from repro.core.value_table import ValueTable
 from repro.core.assistant_table import AssistantTable
 from repro.core.embedder import VisionEmbedder
 from repro.core.concurrent import ConcurrentVisionEmbedder
-from repro.core.persist import load_embedder, save_embedder
+from repro.core.sharded import ShardedEmbedder
+from repro.core.persist import (
+    load_embedder,
+    load_sharded,
+    save_embedder,
+    save_sharded,
+)
 from repro.core.replication import (
     DataPlaneReplica,
     PublishingVisionEmbedder,
@@ -37,8 +43,11 @@ __all__ = [
     "AssistantTable",
     "VisionEmbedder",
     "ConcurrentVisionEmbedder",
+    "ShardedEmbedder",
     "save_embedder",
     "load_embedder",
+    "save_sharded",
+    "load_sharded",
     "PublishingVisionEmbedder",
     "DataPlaneReplica",
 ]

@@ -194,7 +194,10 @@ class VisionEmbedder(ValueOnlyTable):
         self, keys: npt.NDArray[np.uint64]
     ) -> npt.NDArray[np.uint64]:  # repro: hotpath
         """Vectorised lookup over a ``uint64`` key array."""
-        index_arrays = self._hashes.indices_batch(np.asarray(keys, dtype=np.uint64))
+        key_array = np.asarray(keys, dtype=np.uint64)
+        if key_array.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        index_arrays = self._hashes.indices_batch(key_array)
         return self._table.lookup_batch(index_arrays)
 
     def insert(self, key: Key, value: int) -> None:  # repro: hotpath
@@ -234,12 +237,12 @@ class VisionEmbedder(ValueOnlyTable):
         key_list = list(keys)
         handles = keys_to_u64_batch(key_list)
         n = len(handles)
-        if n == 0:
-            return
-        handle_list = handles.tolist()
         value_list = [int(v) for v in values]
         if len(value_list) != n:
             raise ValueError("keys and values must align")
+        if n == 0:
+            return
+        handle_list = handles.tolist()
         if len(set(handle_list)) != n:
             raise DuplicateKey("duplicate keys within batch")
         assistant = self._assistant
@@ -364,6 +367,10 @@ class VisionEmbedder(ValueOnlyTable):
         1.7 cells/key. Reseeds and retries on the rare peel stall.
         """
         pair_list = list(pairs)
+        if not pair_list:
+            # An empty bulk load is a no-op: re-peeling the existing pairs
+            # would only burn time and possibly bump the seed on a stall.
+            return
         new_keys = keys_to_u64_batch(
             [key for key, _ in pair_list]
         ).tolist()

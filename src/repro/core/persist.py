@@ -1,10 +1,16 @@
-"""Persistence: serialise a VisionEmbedder to a file and back.
+"""Persistence: serialise a VisionEmbedder (or sharded table) to a file.
 
 The format is a single ``numpy`` ``.npz`` archive holding the fast space
 (cell matrix), the slow space (parallel key/value arrays — cells are
 recomputed from the seed on load), and a small metadata vector. No pickle
 is involved, so the files are safe to load from untrusted sources and
 stable across Python versions.
+
+A :class:`~repro.core.sharded.ShardedEmbedder` round-trips through
+:func:`save_sharded`/:func:`load_sharded`: an outer ``.npz`` holds the
+sharded geometry plus one embedded per-shard payload in exactly the
+single-table format above, so every shard's fast space is restored
+byte-for-byte (including any seed bumps its reconstructions made).
 """
 
 from __future__ import annotations
@@ -17,8 +23,10 @@ import numpy as np
 
 from repro.core.config import DepthPolicy, EmbedderConfig
 from repro.core.embedder import VisionEmbedder
+from repro.core.sharded import ShardedEmbedder
 
 _FORMAT_VERSION = 1
+_SHARDED_FORMAT_VERSION = 1
 
 PathOrFile = Union[str, os.PathLike, io.IOBase]
 
@@ -128,4 +136,72 @@ def load_embedder(source: PathOrFile) -> VisionEmbedder:
             for i in range(len(keys))
         ],
     )
+    return table
+
+
+def save_sharded(table: ShardedEmbedder, target: PathOrFile) -> None:
+    """Write a sharded table (router geometry + every shard) to ``target``.
+
+    Each shard is serialised with :func:`save_embedder` into an embedded
+    byte payload, so the per-shard format (and its guarantees) carry over
+    unchanged; the outer metadata pins the shard count, master seed, and
+    slack so the router reproduces the exact same partition on load.
+    """
+    meta = np.array(
+        [
+            _SHARDED_FORMAT_VERSION,
+            table.num_shards,
+            table.capacity,
+            table.value_bits,
+            table.num_arrays,
+            1 if table.packed else 0,
+            table.seed,
+        ],
+        dtype=np.int64,
+    )
+    float_meta = np.array([table.shard_slack], dtype=np.float64)
+    payloads = {}
+    for index, shard in enumerate(table.shards):
+        buffer = io.BytesIO()
+        save_embedder(shard, buffer)
+        payloads[f"shard_{index}"] = np.frombuffer(
+            buffer.getvalue(), dtype=np.uint8
+        )
+    np.savez(
+        target, sharded_meta=meta, sharded_float_meta=float_meta, **payloads
+    )
+
+
+def load_sharded(source: PathOrFile) -> ShardedEmbedder:
+    """Rebuild a :class:`ShardedEmbedder` written by :func:`save_sharded`.
+
+    Every shard's fast space is restored byte-for-byte through
+    :func:`load_embedder`; the shard router is rebuilt from the stored
+    master seed, so each restored key routes to the shard it was saved in.
+    """
+    with np.load(source) as archive:
+        meta = archive["sharded_meta"]
+        float_meta = archive["sharded_float_meta"]
+        version = int(meta[0])
+        if version != _SHARDED_FORMAT_VERSION:
+            raise ValueError(f"unsupported sharded format version {version}")
+        num_shards = int(meta[1])
+        payloads = []
+        for index in range(num_shards):
+            name = f"shard_{index}"
+            if name not in archive:
+                raise ValueError(f"archive is missing shard payload {name!r}")
+            payloads.append(archive[name].tobytes())
+    shards = [load_embedder(io.BytesIO(payload)) for payload in payloads]
+    table = ShardedEmbedder(
+        capacity=int(meta[2]),
+        value_bits=int(meta[3]),
+        num_shards=num_shards,
+        config=shards[0].config,
+        seed=int(meta[6]),
+        shard_slack=float(float_meta[0]),
+        num_arrays=int(meta[4]),
+        packed=bool(int(meta[5])),
+    )
+    table._shards = shards
     return table

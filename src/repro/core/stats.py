@@ -59,6 +59,10 @@ STAT_FIELDS = {
         "repro_cost_cache_misses_total", "counter",
         "GetCost memo subtrees recomputed in full", "",
     ),
+    "cost_cache_invalidations": (
+        "repro_cost_cache_invalidations_total", "counter",
+        "GetCost memo entries discarded on a bucket-generation mismatch", "",
+    ),
     "batch_inserts": (
         "repro_batch_inserts_total", "counter",
         "Calls to the batched write path", "",
@@ -92,10 +96,12 @@ class TableStats:
     reconstruct_seconds:
         Wall-clock time spent inside reconstruction, so throughput can be
         reported with and without it (Figs 5 vs 6).
-    cost_cache_hits / cost_cache_misses:
+    cost_cache_hits / cost_cache_misses / cost_cache_invalidations:
         GetCost memo traffic of the vision strategy (a "miss" is one
         recomputed full-bucket subtree; hits revalidate via bucket
-        generation counters only).
+        generation counters only; an invalidation is a memo entry found
+        stale — some dependent bucket's generation moved — and discarded,
+        so every invalidation also counts as a miss).
     batch_inserts / batch_keys / largest_batch:
         Calls to the batched write path, total keys routed through it, and
         the biggest single batch seen.

@@ -137,7 +137,8 @@ class VisionStrategy(UpdateStrategy):
     ``AssistantTable.add``/``remove`` bump per touched bucket — so walks
     over stable regions revalidate in a few integer compares instead of
     re-running the subtree. Cache traffic is reported through ``stats``
-    (``cost_cache_hits``/``cost_cache_misses``) when one is attached.
+    (``cost_cache_hits``/``cost_cache_misses``/
+    ``cost_cache_invalidations``) when one is attached.
     """
 
     def __init__(
@@ -168,6 +169,10 @@ class VisionStrategy(UpdateStrategy):
         self._misses = (
             stats.counter_for("cost_cache_misses") if stats is not None
             else None
+        )
+        self._invalidations = (
+            stats.counter_for("cost_cache_invalidations")
+            if stats is not None else None
         )
         self.subtree_histogram = None
         self._cache = _CostCache()
@@ -337,6 +342,8 @@ class VisionStrategy(UpdateStrategy):
             dep_cells = entry[1]
             for flat, gen in zip(dep_cells, entry[2]):
                 if gens[flat] != gen:
+                    if self._invalidations is not None:
+                        self._invalidations.value += 1
                     break
             else:
                 if self._hits is not None:

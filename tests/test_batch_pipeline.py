@@ -117,6 +117,43 @@ class TestInsertBatchParity:
         for key, value in pairs:
             assert table.lookup(key) == value
 
+    def test_empty_insert_many_is_a_noop(self):
+        table = VisionEmbedder(64, 8, seed=1)
+        table.insert_many([])
+        assert len(table) == 0
+        assert table.stats.batch_inserts == 0
+
+    def test_misaligned_empty_batch_still_rejected(self):
+        # The alignment contract holds even when one side is empty: the
+        # caller clearly made a mistake, so don't silently no-op.
+        table = VisionEmbedder(64, 8, seed=1)
+        with pytest.raises(ValueError):
+            table.insert_batch([], [5])
+        with pytest.raises(ValueError):
+            table.insert_batch([1], [])
+        assert len(table) == 0
+
+    @pytest.mark.parametrize("packed", [False, True])
+    def test_empty_lookup_batch(self, packed):
+        table = VisionEmbedder(64, 8, seed=1, packed=packed)
+        table.insert(7, 42)
+        for empty in ([], np.zeros(0, dtype=np.uint64)):
+            out = table.lookup_batch(empty)
+            assert out.dtype == np.uint64
+            assert out.shape == (0,)
+
+    def test_empty_bulk_load_leaves_table_untouched(self):
+        keys, values = _workload(200, 8, seed=15)
+        table = VisionEmbedder(300, 8, seed=6)
+        table.insert_batch(keys, values)
+        seed_before = table.seed
+        dense_before = _dense(table).copy()
+        table.bulk_load([])
+        assert table.seed == seed_before
+        assert np.array_equal(_dense(table), dense_before)
+        assert len(table) == 200
+        table.check_invariants()
+
     def test_bulk_load_and_reconstruct_keep_invariants(self):
         keys, values = _workload(500, 10, seed=21)
         table = VisionEmbedder(700, 10, seed=4)
@@ -277,6 +314,29 @@ class TestCostCache:
         off.insert_batch(keys, values)
         assert off.stats.cost_cache_hits == 0
         assert off.stats.cost_cache_misses == 0
+
+    def test_invalidation_counter_tracks_discarded_entries(self):
+        # Drive the table deep enough that repair walks revisit buckets
+        # whose generations moved: those memo probes must be counted as
+        # invalidations, and every invalidation is also a miss.
+        keys, values = _workload(400, 8, seed=6)
+        table = VisionEmbedder(440, 8, seed=3)
+        table.insert_batch(keys, values)
+        stats = table.stats
+        assert stats.cost_cache_invalidations > 0
+        assert stats.cost_cache_invalidations <= stats.cost_cache_misses
+        # The metric is exported through the registry under its public name.
+        registry_value = stats.registry.counter(
+            "repro_cost_cache_invalidations_total",
+            "GetCost memo entries discarded on a bucket-generation mismatch",
+            "",
+        ).value
+        assert registry_value == stats.cost_cache_invalidations
+        off = VisionEmbedder(
+            440, 8, seed=3, config=EmbedderConfig(cost_cache=False)
+        )
+        off.insert_batch(keys, values)
+        assert off.stats.cost_cache_invalidations == 0
 
 
 # -- repair-walk mutation hazard -------------------------------------------

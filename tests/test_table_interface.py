@@ -9,7 +9,7 @@ from repro.core.errors import DuplicateKey, KeyNotFound
 from repro.factory import TABLE_NAMES, make_table
 from repro.table import ValueOnlyTable
 
-ALL_NAMES = TABLE_NAMES + ("vision-mt",)
+ALL_NAMES = TABLE_NAMES + ("vision-mt", "vision-sharded")
 
 
 def _pairs(n, value_bits, seed):
