@@ -201,6 +201,17 @@ def check_sidecar(json_path: str, prom_path: str, table) -> list:
         problems.append("prom/json walk-step counts disagree")
 
     stats = table.stats
+    rate = stats.cost_cache_hit_rate
+    exported_rate = (
+        snapshot.get("gauges", {})
+        .get("repro_cost_cache_hit_rate", {})
+        .get("value")
+    )
+    if exported_rate is None or abs(exported_rate - rate) > 1e-9:
+        problems.append(
+            f"repro_cost_cache_hit_rate gauge={exported_rate!r} but "
+            f"TableStats.cost_cache_hit_rate={rate!r}"
+        )
     for name, attr in SIDECAR_COUNTERS.items():
         expected = getattr(stats, attr)
         exported = snapshot.get("counters", {}).get(name, {}).get("value")
@@ -250,6 +261,11 @@ def main(argv=None) -> int:
         "speedups": speedups,
         "thresholds": thresholds,
     }
+    # Reading the hit-rate property refreshes its gauge so the sidecar
+    # export carries the rate the --check validation recomputes.
+    report["cost_cache_hit_rate"] = round(
+        traced_table.stats.cost_cache_hit_rate, 4
+    )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

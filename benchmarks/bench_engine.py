@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Engine benchmark: scalar vs array-native backend on the same workload.
+
+Times four legs (uniform random uint64 keys, 12-bit values, capacity == n
+so the final space efficiency matches a full table):
+
+- ``scalar_insert_many`` — the batched write path on the default scalar
+  backend: vectorised validation + hashing feeding per-key repair walks.
+- ``vector_insert_many`` — the same call on ``backend="vector"``: the
+  base-occupancy-masked peel retires most of the batch in a handful of
+  numpy rounds and only the blocked remainder takes scalar walks.
+- ``scalar_lookup_batch`` / ``vector_lookup_batch`` — batched lookup; the
+  vector number exercises the fused one-gather-per-plane + XOR kernel
+  (both backends share it, so the two legs should be close — the scalar
+  leg is the regression reference).
+- ``numba_insert_many`` — only when numba is importable; otherwise the
+  leg is recorded as skipped (the backend silently degrades to the
+  vector kernels, so timing it without numba would duplicate the vector
+  leg).
+
+Results and throughput gates are written to ``BENCH_engine.json``.
+``--check`` exits non-zero when a leg misses its threshold (relaxed in
+``--smoke`` mode, whose small n keeps the run under ~30 s for CI while
+still catching an order-of-magnitude engine regression).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--smoke] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+if __package__ in (None, ""):  # script invocation: make src/ importable
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    )
+
+from repro.core import HAVE_NUMBA, EmbedderConfig, VisionEmbedder
+
+SEED = 3
+VALUE_BITS = 12
+
+#: Minimum throughput in kops. The full-run vector gate is 10x the
+#: ~21 kops scalar insert_many baseline recorded in BENCH_build.json;
+#: the lookup gate is 1 Mops through the fused gather+XOR kernel.
+FULL_THRESHOLDS = {"vector_insert_many": 210.0, "vector_lookup_batch": 1000.0}
+SMOKE_THRESHOLDS = {"vector_insert_many": 100.0, "vector_lookup_batch": 500.0}
+
+
+def make_workload(n: int):
+    rng = np.random.default_rng(SEED)
+    keys = rng.choice(
+        np.arange(1, max(10 * n, 1 << 20), dtype=np.uint64),
+        size=n, replace=False,
+    )
+    values = rng.integers(0, 1 << VALUE_BITS, size=n, dtype=np.uint64)
+    return keys, values
+
+
+def make_embedder(n: int, backend: str) -> VisionEmbedder:
+    return VisionEmbedder(
+        capacity=n, value_bits=VALUE_BITS, seed=SEED,
+        config=EmbedderConfig(backend=backend),
+    )
+
+
+def run_legs(n: int) -> dict:
+    keys, values = make_workload(n)
+    key_list, value_list = keys.tolist(), values.tolist()
+    legs: dict = {}
+
+    def record(name: str, seconds: float, extra: dict | None = None) -> None:
+        legs[name] = {
+            "seconds": round(seconds, 4),
+            "kops": round(n / seconds / 1000, 2),
+            **(extra or {}),
+        }
+        print(f"{name:>22}: {seconds:7.2f}s  ({legs[name]['kops']:9.1f} kops)")
+
+    backends = ["scalar", "vector"] + (["numba"] if HAVE_NUMBA else [])
+    for backend in backends:
+        table = make_embedder(n, backend)
+        start = time.perf_counter()
+        table.insert_many(zip(key_list, value_list))
+        record(f"{backend}_insert_many", time.perf_counter() - start)
+        table.check_invariants()
+
+        # Batched lookup over the freshly built table, repeated so the
+        # leg is not dominated by one-off warmup at small n.
+        repeats = 5
+        start = time.perf_counter()
+        for _ in range(repeats):
+            out = table.lookup_batch(keys)
+        seconds = (time.perf_counter() - start) / repeats
+        legs[f"{backend}_lookup_batch"] = {
+            "seconds": round(seconds, 4),
+            "kops": round(n / seconds / 1000, 2),
+        }
+        print(f"{backend + '_lookup_batch':>22}: {seconds:7.2f}s  "
+              f"({legs[backend + '_lookup_batch']['kops']:9.1f} kops)")
+        if not np.array_equal(out, values):
+            raise SystemExit(f"{backend} lookup_batch returned wrong values")
+
+    if not HAVE_NUMBA:
+        legs["numba_insert_many"] = {"skipped": "numba not importable"}
+        print(f"{'numba_insert_many':>22}: skipped (numba not importable)")
+    return legs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=100_000,
+                        help="number of pairs (default 100000)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small-n CI mode (~30 s) with relaxed gates")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a leg misses its gate")
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="output path (default BENCH_engine.json)")
+    args = parser.parse_args(argv)
+
+    n = 20_000 if args.smoke else args.n
+    thresholds = SMOKE_THRESHOLDS if args.smoke else FULL_THRESHOLDS
+    print(f"engine benchmark: n={n} smoke={args.smoke} numba={HAVE_NUMBA}")
+    legs = run_legs(n)
+
+    report = {
+        "benchmark": "bench_engine",
+        "n": n,
+        "smoke": args.smoke,
+        "value_bits": VALUE_BITS,
+        "seed": SEED,
+        "numba_available": HAVE_NUMBA,
+        "legs": legs,
+        "thresholds_kops": thresholds,
+        "speedups": {
+            "insert_many": round(
+                legs["scalar_insert_many"]["seconds"]
+                / legs["vector_insert_many"]["seconds"], 2),
+            "lookup_batch": round(
+                legs["scalar_lookup_batch"]["seconds"]
+                / legs["vector_lookup_batch"]["seconds"], 2),
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"speedups: {report['speedups']}  "
+          f"(gates, kops: {thresholds})")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failed = {
+            name: (legs[name]["kops"], minimum)
+            for name, minimum in thresholds.items()
+            if legs[name]["kops"] < minimum
+        }
+        if failed:
+            for name, (got, minimum) in failed.items():
+                print(f"FAIL {name}: {got:.1f} kops < required "
+                      f"{minimum:.1f} kops", file=sys.stderr)
+            return 1
+        print("all engine throughput gates met")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,6 +62,7 @@ class CheckConfig:
         "repro/core/update.py",
         "repro/core/static_build.py",
         "repro/core/embedder.py",
+        "repro/core/engine.py",
         "repro/core/sharded.py",
     )
     value_table_writer_prefixes: Tuple[str, ...] = ("repro/baselines/",)

@@ -16,6 +16,16 @@ from repro.core.errors import (
 )
 from repro.core.value_table import ValueTable
 from repro.core.assistant_table import AssistantTable
+from repro.core.engine import (
+    HAVE_NUMBA,
+    ArrayAssistant,
+    ExecutionEngine,
+    NumbaEngine,
+    ReferenceVectorEngine,
+    ScalarEngine,
+    VectorEngine,
+    make_engine,
+)
 from repro.core.embedder import VisionEmbedder
 from repro.core.concurrent import ConcurrentVisionEmbedder
 from repro.core.sharded import ShardedEmbedder
@@ -41,6 +51,14 @@ __all__ = [
     "DuplicateKey",
     "ValueTable",
     "AssistantTable",
+    "ArrayAssistant",
+    "ExecutionEngine",
+    "ScalarEngine",
+    "VectorEngine",
+    "NumbaEngine",
+    "ReferenceVectorEngine",
+    "make_engine",
+    "HAVE_NUMBA",
     "VisionEmbedder",
     "ConcurrentVisionEmbedder",
     "ShardedEmbedder",

@@ -22,6 +22,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
+import numpy as np
+import numpy.typing as npt
+
 Cell = Tuple[int, int]
 
 
@@ -59,6 +62,22 @@ class AssistantTable:
 
     def __contains__(self, key: int) -> bool:
         return key in self._values
+
+    def contains_batch(
+        self, handles: npt.NDArray[np.uint64]
+    ) -> npt.NDArray[np.bool_]:
+        """Vectorised membership over a ``uint64`` handle array.
+
+        Mirrors :meth:`repro.core.engine.ArrayAssistant.contains_batch` so
+        the batched validation path is backend-agnostic; here the store is
+        a dict, so it is one O(1) probe per handle.
+        """
+        values = self._values
+        return np.fromiter(
+            (handle in values for handle in handles.tolist()),
+            dtype=bool,
+            count=len(handles),
+        )
 
     def add(self, key: int, value: int, cells: Tuple[Cell, ...]) -> None:  # repro: hotpath
         """Record a new KV pair and register the key at each of its cells."""

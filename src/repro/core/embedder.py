@@ -29,8 +29,8 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 import numpy.typing as npt
 
-from repro.core.assistant_table import AssistantTable
 from repro.core.config import EmbedderConfig
+from repro.core.engine import make_engine
 from repro.core.packed_table import PackedValueTable
 from repro.core.errors import (
     DuplicateKey,
@@ -104,7 +104,17 @@ class VisionEmbedder(ValueOnlyTable):
         # tooling swaps in instrumented proxies via instrument_sync().
         table_class: Any = PackedValueTable if packed else ValueTable
         self._table = table_class(width, value_bits, num_arrays)
-        self._assistant = AssistantTable(width, num_arrays)
+        # The execution engine owns the batched write path and chooses the
+        # assistant implementation (AssistantTable for the scalar backend,
+        # ArrayAssistant for the vector/numba backends). Both are
+        # duck-compatible; single-key operations behave identically.
+        self._engine = make_engine(self.config.backend)
+        self._assistant: Any = self._engine.make_assistant(width, num_arrays)
+        # Per-array flat-id offsets j·width, cached for the fused batch
+        # lookup (width never changes, even across reconstructions).
+        self._flat_offsets = (
+            np.arange(num_arrays, dtype=np.int64) * width
+        )[:, None]
         self._seed = seed
         self._hashes = HashFamily(seed, [width] * num_arrays)
         self._stats = TableStats()
@@ -193,12 +203,30 @@ class VisionEmbedder(ValueOnlyTable):
     def lookup_batch(
         self, keys: npt.NDArray[np.uint64]
     ) -> npt.NDArray[np.uint64]:  # repro: hotpath
-        """Vectorised lookup over a ``uint64`` key array."""
+        """Vectorised lookup over a ``uint64`` key array.
+
+        One fused gather + XOR-reduce over all three bit-plane arrays: the
+        per-array indices become one flat-id matrix and
+        :meth:`~repro.core.value_table.ValueTable.gather_xor` resolves the
+        whole batch without per-array Python dispatch.
+        """
         key_array = np.asarray(keys, dtype=np.uint64)
         if key_array.size == 0:
             return np.zeros(0, dtype=np.uint64)
         index_arrays = self._hashes.indices_batch(key_array)
-        return self._table.lookup_batch(index_arrays)
+        flat_mat = (
+            np.stack(index_arrays).astype(np.int64) + self._flat_offsets
+        )
+        result: npt.NDArray[np.uint64] = self._table.gather_xor(flat_mat)
+        return result
+
+    def lookup_many(self, keys: Iterable[Key]) -> npt.NDArray[np.uint64]:
+        """Batched lookup over arbitrary (mixed-type) keys.
+
+        Canonicalises the keys to one ``uint64`` handle array and resolves
+        them through the fused :meth:`lookup_batch` path.
+        """
+        return self.lookup_batch(keys_to_u64_batch(list(keys)))
 
     def insert(self, key: Key, value: int) -> None:  # repro: hotpath
         """Insert a new pair; dynamic update per §IV."""
@@ -228,11 +256,19 @@ class VisionEmbedder(ValueOnlyTable):
         precomputed cells, walk-for-walk identical to sequential
         :meth:`insert` calls (a property test asserts bit-equal tables).
 
+        How the walks run depends on ``config.backend``: the scalar engine
+        repairs key by key, walk-for-walk identical to sequential
+        :meth:`insert` calls (a property test asserts bit-equal tables);
+        the vector engine retires every peelable key through the
+        round-synchronous multi-walk repair and falls back to the scalar
+        walker only for the rest (see :mod:`repro.core.engine`).
+
         If a mid-batch failure triggers reconstruction, the new seed's
         cells for the *remaining* keys are recomputed in one further
         vectorised pass. :class:`SpaceExhausted` aborts the batch with the
-        already-walked prefix inserted, matching ``insert_many``'s
-        sequential semantics.
+        already-walked keys inserted, matching ``insert_many``'s
+        sequential semantics (under the vector engine the peeled subset is
+        part of that kept set).
         """
         key_list = list(keys)
         handles = keys_to_u64_batch(key_list)
@@ -242,47 +278,27 @@ class VisionEmbedder(ValueOnlyTable):
             raise ValueError("keys and values must align")
         if n == 0:
             return
-        handle_list = handles.tolist()
-        if len(set(handle_list)) != n:
+        if np.unique(handles).size != n:
             raise DuplicateKey("duplicate keys within batch")
-        assistant = self._assistant
-        for i, handle in enumerate(handle_list):
-            if handle in assistant:
-                raise DuplicateKey(f"key {key_list[i]!r} already inserted")
-        if value_list and not (
-            0 <= min(value_list) and max(value_list) <= self._table.value_mask
-        ):
-            bad = next(v for v in value_list
-                       if not 0 <= v <= self._table.value_mask)
-            self._check_value(bad)
+        hits = self._assistant.contains_batch(handles)
+        if bool(hits.any()):
+            offender = int(np.argmax(hits))
+            raise DuplicateKey(
+                f"key {key_list[offender]!r} already inserted"
+            )
+        try:
+            value_arr = np.asarray(value_list, dtype=np.uint64)
+        except (OverflowError, ValueError):
+            # Some value doesn't even fit uint64; the scalar check below
+            # raises on the first offender with the precise message.
+            for value in value_list:
+                self._check_value(value)
+            raise  # pragma: no cover - _check_value always raised above
+        mask = np.uint64(self._table.value_mask)
+        if bool((value_arr > mask).any()):
+            self._check_value(value_list[int(np.argmax(value_arr > mask))])
         self._stats.note_batch(n)
-
-        def hash_rows(
-            key_arr: npt.NDArray[np.uint64],
-        ) -> List[Tuple[Cell, ...]]:
-            # One vectorised hashing pass, pre-assembled into per-key
-            # cells tuples ((0, t0), (1, t1), ...).
-            return list(zip(*(
-                [(j, t) for t in arr.tolist()]
-                for j, arr in enumerate(self._hashes.indices_batch(key_arr))
-            )))
-
-        cells_rows = hash_rows(handles)
-        base = 0
-        hashed_seed = self._seed
-        for i, handle in enumerate(handle_list):
-            if self._seed != hashed_seed:
-                # A mid-batch reconstruction reseeded every hash function:
-                # recompute the remaining keys' cells in one batched pass.
-                cells_rows = hash_rows(handles[i:])
-                base = i
-                hashed_seed = self._seed
-            assistant.add(handle, value_list[i], cells_rows[i - base])
-            try:
-                self._run_update(handle)
-            except SpaceExhausted:
-                assistant.remove(handle)
-                raise
+        self._engine.insert_batch(self, handles, value_list)
 
     def insert_many(self, pairs: Iterable[Tuple[Key, int]]) -> None:
         """Insert pairs via :meth:`insert_batch` (vectorised hashing).
@@ -371,28 +387,45 @@ class VisionEmbedder(ValueOnlyTable):
             # An empty bulk load is a no-op: re-peeling the existing pairs
             # would only burn time and possibly bump the seed on a stall.
             return
-        new_keys = keys_to_u64_batch(
-            [key for key, _ in pair_list]
-        ).tolist()
+        new_handles = keys_to_u64_batch([key for key, _ in pair_list])
+        new_keys = new_handles.tolist()
         new_values = [int(value) for _, value in pair_list]
-        if len(set(new_keys)) != len(new_keys):
+        if np.unique(new_handles).size != len(new_keys):
             raise DuplicateKey("duplicate keys within batch")
-        for handle, (key, _) in zip(new_keys, pair_list):
-            if handle in self._assistant:
-                raise DuplicateKey(f"key {key!r} already inserted")
-        if new_values and not (
-            0 <= min(new_values)
-            and max(new_values) <= self._table.value_mask
-        ):
-            bad = next(v for v in new_values
-                       if not 0 <= v <= self._table.value_mask)
-            self._check_value(bad)
+        hits = self._assistant.contains_batch(new_handles)
+        if bool(hits.any()):
+            offender = int(np.argmax(hits))
+            raise DuplicateKey(
+                f"key {pair_list[offender][0]!r} already inserted"
+            )
+        try:
+            new_value_arr = np.asarray(new_values, dtype=np.uint64)
+        except (OverflowError, ValueError):
+            for value in new_values:
+                self._check_value(value)
+            raise  # pragma: no cover - _check_value always raised above
+        mask = np.uint64(self._table.value_mask)
+        if bool((new_value_arr > mask).any()):
+            self._check_value(
+                new_values[int(np.argmax(new_value_arr > mask))]
+            )
         all_keys = [key for key, _ in self._assistant.pairs()]
         all_values = [value for _, value in self._assistant.pairs()]
         all_keys.extend(new_keys)
         all_values.extend(new_values)
         key_array = np.array(all_keys, dtype=np.uint64)
         self._stats.note_batch(len(new_keys))
+
+        if hasattr(self._engine, "bulk_load_arrays"):
+            # The vector engine peels directly over flat arrays, skipping
+            # the per-key cells-tuple materialisation entirely.
+            self._engine.bulk_load_arrays(
+                self,
+                key_array,
+                np.array(all_values, dtype=np.uint64),
+                len(new_keys),
+            )
+            return
 
         for _ in range(self.config.max_reconstruct_attempts):
             self._table.clear()

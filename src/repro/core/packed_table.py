@@ -132,6 +132,42 @@ class PackedValueTable:
             result = values if result is None else result ^ values
         return result
 
+    def gather_xor(self, flat_mat: np.ndarray) -> np.ndarray:  # repro: hotpath
+        """Fused batch lookup over a ``(num_arrays, k)`` flat-id matrix.
+
+        :meth:`_gather` is shape-agnostic, so one call unpacks every cell
+        and a single XOR-reduce collapses the array axis.
+        """
+        return np.bitwise_xor.reduce(
+            self._gather(np.asarray(flat_mat).astype(np.uint64)), axis=0
+        )
+
+    def xor_batch(
+        self, flat_cells: np.ndarray, deltas: np.ndarray
+    ) -> None:  # repro: hotpath
+        """Vectorised :meth:`xor` at flat cell ids.
+
+        XOR never carries across bits, so each write is one low-word XOR
+        plus, for cells straddling a word boundary, one spill-word XOR.
+        ``np.bitwise_xor.at`` accumulates same-word collisions exactly like
+        sequential scalar XORs would.
+        """
+        deltas = np.asarray(deltas, dtype=np.uint64) & np.uint64(self.value_mask)
+        bits = np.asarray(flat_cells).astype(np.uint64) * np.uint64(
+            self.value_bits
+        )
+        words = (bits >> np.uint64(6)).astype(np.int64)
+        offsets = bits & np.uint64(63)
+        np.bitwise_xor.at(self._words, words, deltas << offsets)
+        spill = offsets + np.uint64(self.value_bits) > np.uint64(_WORD_BITS)
+        if bool(spill.any()):
+            # Straddlers have offset >= 1 (value_bits <= 64), so the right
+            # shift count stays within [1, 63].
+            shift = np.uint64(_WORD_BITS) - offsets[spill]
+            np.bitwise_xor.at(
+                self._words, words[spill] + 1, deltas[spill] >> shift
+            )
+
     # -- lifecycle ----------------------------------------------------------
 
     def clear(self) -> None:
@@ -150,13 +186,19 @@ class PackedValueTable:
         return self._gather(flat).reshape(self.num_arrays, self.width)
 
     def load_dense(self, cells: np.ndarray) -> None:
-        """Restore from a dense cell matrix (persistence)."""
+        """Restore from a dense cell matrix (persistence, bulk writes).
+
+        The backing words start zeroed, so one vectorised
+        :meth:`xor_batch` over every flat cell id *is* the packing — the
+        same word arithmetic as the batched read path, run in reverse.
+        """
         if cells.shape != (self.num_arrays, self.width):
             raise ValueError("dense matrix shape mismatch")
         self.clear()
-        for j in range(self.num_arrays):
-            for t in range(self.width):
-                self.set((j, t), int(cells[j, t]))
+        self.xor_batch(
+            np.arange(self.num_cells, dtype=np.int64),
+            np.asarray(cells, dtype=np.uint64).reshape(-1),
+        )
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, PackedValueTable):

@@ -496,10 +496,14 @@ class ShardedEmbedder(ValueOnlyTable):
             if lo != hi:
                 jobs.append((index, lo, hi))
         for index, lo, hi in jobs:
-            shard = self._shards[index]
-            for handle in grouped_handles[lo:hi].tolist():
-                if handle in shard:
-                    raise DuplicateKey(f"key {handle!r} already inserted")
+            # Vectorised membership against the shard's assistant (one
+            # sorted-index / dict pass instead of a per-key loop).
+            hits = self._shards[index]._assistant.contains_batch(
+                grouped_handles[lo:hi]
+            )
+            if bool(hits.any()):
+                offender = int(grouped_handles[lo + int(np.argmax(hits))])
+                raise DuplicateKey(f"key {offender!r} already inserted")
         started = time.perf_counter()
         self._builds_counter.inc()
         self._build_workers_gauge.set(workers)

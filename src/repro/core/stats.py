@@ -126,6 +126,14 @@ class TableStats:
             "repro_batch_size", BATCH_SIZE_BUCKETS,
             help="Keys per batched write", unit="keys",
         )
+        # Derived gauge, not a STAT_FIELDS member: it is computed from the
+        # hit/miss counters on read (see cost_cache_hit_rate), so it never
+        # participates in snapshot()/__eq__ or keyword construction.
+        metrics["cost_cache_hit_rate_gauge"] = self._registry.gauge(
+            "repro_cost_cache_hit_rate",
+            "Fraction of GetCost subtree evaluations served from the cache "
+            "(refreshed when cost_cache_hit_rate is read)",
+        )
         for attr, value in initial.items():
             if attr not in STAT_FIELDS:
                 raise TypeError(
@@ -149,9 +157,15 @@ class TableStats:
 
     @property
     def cost_cache_hit_rate(self) -> float:
-        """Fraction of GetCost subtree evaluations served from the cache."""
+        """Fraction of GetCost subtree evaluations served from the cache.
+
+        Reading the property also refreshes the ``repro_cost_cache_hit_rate``
+        gauge, so registry exports taken after a read carry the rate.
+        """
         total = self.cost_cache_hits + self.cost_cache_misses
-        return self.cost_cache_hits / total if total else 0.0
+        rate = self.cost_cache_hits / total if total else 0.0
+        self._metrics["cost_cache_hit_rate_gauge"].set(rate)
+        return rate
 
     def note_batch(self, size: int) -> None:
         """Record one batched write of ``size`` keys."""

@@ -456,7 +456,12 @@ def _run_repair_walk(  # repro: hotpath
         choice = strategy.choose(candidates, current, assistant,
                                  space_efficiency)
         modify(choice)
-        for neighbour in tuple(assistant.keys_at(choice)):
+        # Sorted snapshot: set iteration order is an implementation detail
+        # of the assistant (hash-set vs array-backed buckets), and the
+        # re-queue order steers every later pop. Sorting pins the walk to
+        # the key values alone, so scalar and vector backends replay
+        # bit-identical walks over identical table states.
+        for neighbour in sorted(assistant.keys_at(choice)):
             if neighbour != current:
                 stack.append((neighbour, choice))
         if hooks is not None:

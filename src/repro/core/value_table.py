@@ -88,6 +88,34 @@ class ValueTable:
             result ^= self._cells[j][np.asarray(index_arrays[j], dtype=np.int64)]
         return result
 
+    def gather_xor(
+        self, flat_mat: npt.NDArray[np.int64]
+    ) -> npt.NDArray[np.uint64]:  # repro: hotpath
+        """Fused batch lookup: one gather + XOR-reduce over flat cell ids.
+
+        ``flat_mat`` is ``(num_arrays, k)`` of flat ids ``j·width + t``
+        (one row per array); the result is the per-column XOR — the lookup
+        primitive with no per-key or per-array Python dispatch.
+        """
+        flat_view = self._cells.reshape(-1)
+        gathered: npt.NDArray[np.uint64] = flat_view[flat_mat]
+        return np.bitwise_xor.reduce(gathered, axis=0)
+
+    def xor_batch(
+        self,
+        flat_cells: npt.NDArray[np.int64],
+        deltas: npt.NDArray[np.uint64],
+    ) -> None:  # repro: hotpath
+        """Vectorised :meth:`xor`: XOR ``deltas[i]`` into flat cell
+        ``flat_cells[i]``. Repeated cells accumulate (``np.bitwise_xor.at``),
+        matching a sequential sequence of scalar XORs."""
+        flat_view = self._cells.reshape(-1)
+        np.bitwise_xor.at(
+            flat_view,
+            np.asarray(flat_cells, dtype=np.int64),
+            np.asarray(deltas, dtype=np.uint64) & np.uint64(self.value_mask),
+        )
+
     def clear(self) -> None:
         """Zero every cell (used by reconstruction)."""
         self._cells.fill(0)

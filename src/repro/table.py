@@ -89,6 +89,18 @@ class ValueOnlyTable(ABC):
             count=len(keys),
         )
 
+    def lookup_many(self, keys: Iterable[Key]) -> np.ndarray:
+        """Batched lookup over arbitrary (mixed-type) keys.
+
+        Canonicalises the keys to one ``uint64`` handle array and resolves
+        them through :meth:`lookup_batch`, so tables with a vectorised
+        batch path (e.g. VisionEmbedder's fused gather + XOR) serve
+        string/bytes/int keys at batch speed.
+        """
+        from repro.hashing import keys_to_u64_batch
+
+        return self.lookup_batch(keys_to_u64_batch(list(keys)))
+
     def insert_many(self, pairs: Iterable[Tuple[Key, int]]) -> None:
         """Insert pairs one by one (dynamic path, not bulk construction)."""
         for key, value in pairs:
