@@ -44,6 +44,7 @@ if __package__ in (None, ""):  # script invocation: make src/ importable
     )
 
 from repro.core import HAVE_NUMBA, EmbedderConfig, VisionEmbedder
+from repro.obs import parse_prometheus_text, write_sidecar
 
 SEED = 3
 VALUE_BITS = 12
@@ -72,10 +73,17 @@ def make_embedder(n: int, backend: str) -> VisionEmbedder:
     )
 
 
-def run_legs(n: int) -> dict:
+def run_legs(n: int) -> tuple:
+    """Times every leg; returns ``(legs, vector_table)``.
+
+    The vector-backend table rides along so ``--metrics-out`` can export
+    its engine instruments (``repro_engine_peeled_total`` & co) after the
+    timed work, exactly as they accumulated during the benchmark.
+    """
     keys, values = make_workload(n)
     key_list, value_list = keys.tolist(), values.tolist()
     legs: dict = {}
+    vector_table = None
 
     def record(name: str, seconds: float, extra: dict | None = None) -> None:
         legs[name] = {
@@ -88,6 +96,8 @@ def run_legs(n: int) -> dict:
     backends = ["scalar", "vector"] + (["numba"] if HAVE_NUMBA else [])
     for backend in backends:
         table = make_embedder(n, backend)
+        if backend == "vector":
+            vector_table = table
         start = time.perf_counter()
         table.insert_many(zip(key_list, value_list))
         record(f"{backend}_insert_many", time.perf_counter() - start)
@@ -112,7 +122,46 @@ def run_legs(n: int) -> dict:
     if not HAVE_NUMBA:
         legs["numba_insert_many"] = {"skipped": "numba not importable"}
         print(f"{'numba_insert_many':>22}: skipped (numba not importable)")
-    return legs
+    return legs, vector_table
+
+
+def check_sidecar(json_path: str, prom_path: str, table) -> list:
+    """Validate the engine-metrics sidecars against the vector table.
+
+    Returns a list of problem strings (empty when everything checks out):
+    both files must parse, the peel counter must have retired keys during
+    the vector insert leg, and the prom/json exports must agree with the
+    live registry.
+    """
+    problems = []
+    try:
+        with open(json_path) as handle:
+            snapshot = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"{json_path} unreadable: {exc}"]
+    try:
+        with open(prom_path) as handle:
+            samples = parse_prometheus_text(handle.read())
+    except (OSError, ValueError) as exc:
+        return [f"{prom_path} unreadable: {exc}"]
+
+    if snapshot.get("format") != "repro-metrics/1":
+        problems.append(f"unexpected format marker {snapshot.get('format')!r}")
+    counters = snapshot.get("counters", {})
+    peeled = counters.get("repro_engine_peeled_total", {}).get("value", 0)
+    fallback = counters.get(
+        "repro_engine_fallback_walks_total", {}).get("value", 0)
+    if peeled <= 0:
+        problems.append("repro_engine_peeled_total is zero — the vector "
+                        "insert leg did not report peel progress")
+    if peeled + fallback != len(table):
+        problems.append(
+            f"peeled({peeled}) + fallback({fallback}) != "
+            f"{len(table)} inserted keys"
+        )
+    if samples.get("repro_engine_peeled_total") != peeled:
+        problems.append("prom/json peel counts disagree")
+    return problems
 
 
 def main(argv=None) -> int:
@@ -125,12 +174,20 @@ def main(argv=None) -> int:
                         help="exit non-zero when a leg misses its gate")
     parser.add_argument("--out", default="BENCH_engine.json",
                         help="output path (default BENCH_engine.json)")
+    parser.add_argument("--metrics-out", default=None, metavar="BASE",
+                        help="also write the vector table's engine metrics "
+                             "as BASE.metrics.{json,prom}")
     args = parser.parse_args(argv)
 
     n = 20_000 if args.smoke else args.n
     thresholds = SMOKE_THRESHOLDS if args.smoke else FULL_THRESHOLDS
     print(f"engine benchmark: n={n} smoke={args.smoke} numba={HAVE_NUMBA}")
-    legs = run_legs(n)
+    legs, vector_table = run_legs(n)
+
+    sidecar_paths = None
+    if args.metrics_out:
+        sidecar_paths = write_sidecar(vector_table.metrics, args.metrics_out)
+        print(f"wrote {sidecar_paths[0]} and {sidecar_paths[1]}")
 
     report = {
         "benchmark": "bench_engine",
@@ -168,7 +225,17 @@ def main(argv=None) -> int:
                 print(f"FAIL {name}: {got:.1f} kops < required "
                       f"{minimum:.1f} kops", file=sys.stderr)
             return 1
-        print("all engine throughput gates met")
+        if sidecar_paths is not None:
+            problems = check_sidecar(*sidecar_paths, vector_table)
+            if problems:
+                for problem in problems:
+                    print(f"FAIL metrics sidecar: {problem}",
+                          file=sys.stderr)
+                return 1
+            print("all engine throughput gates met; metrics sidecar "
+                  "validated")
+        else:
+            print("all engine throughput gates met")
     return 0
 
 

@@ -1,0 +1,306 @@
+#!/usr/bin/env python
+"""Serving-layer benchmark: micro-batched vs unbatched request handling.
+
+One asyncio event loop hosts a :class:`~repro.serve.TableServer` over a
+pre-loaded :class:`~repro.core.sharded.ShardedEmbedder` plus a fleet of
+closed-loop clients (each keeps exactly one request outstanding, so
+concurrency equals the client count). Every request carries a handful of
+keys and the mix is 90% lookups / 10% updates of resident keys, i.e. the
+mixed concurrent read+write traffic the serving layer exists for.
+
+Two legs run the identical workload:
+
+- ``batched`` — the default :class:`~repro.serve.ServeConfig`: requests
+  queue for up to ``--window-ms`` (or until ``max_batch`` key-ops are
+  pending) and one fused ``lookup_many``/scalar-write pass answers the
+  whole batch.
+- ``unbatched`` — ``ServeConfig.unbatched()``: every request becomes its
+  own table call; this is the per-request baseline the batching win is
+  measured against.
+
+Each leg records served throughput (key-ops/s across all clients) and
+client-observed request latency percentiles (p50/p99 over the whole
+run). ``--check`` gates the batched leg: p99 below a latency ceiling and
+sustained throughput above a floor (relaxed in ``--smoke`` mode for CI).
+Results go to ``BENCH_serve.json``; ``--metrics-out BASE`` additionally
+writes the server's metrics registry as ``BASE.metrics.json`` /
+``BASE.metrics.prom`` sidecars, which ``--check`` then validates against
+the client-side request count.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import sys
+import time
+
+if __package__ in (None, ""):  # script invocation: make src/ importable
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    )
+
+from repro.core.sharded import ShardedEmbedder
+from repro.obs import parse_prometheus_text, write_sidecar
+from repro.serve import AsyncServeClient, ServeConfig, TableServer
+
+SEED = 7
+VALUE_BITS = 16
+WRITE_FRACTION = 0.1
+
+#: Gates for the *batched* leg. Full mode asks for the serving target —
+#: 50 kops sustained under concurrent mixed traffic (measured ~92 kops at
+#: the 32-client default) — with a 40 ms p99 ceiling (measured ~24 ms);
+#: smoke mode (small table, short run, shared CI runners) only guards
+#: against order-of-magnitude regressions.
+FULL_GATES = {"min_kops": 50.0, "max_p99_s": 0.040}
+SMOKE_GATES = {"min_kops": 10.0, "max_p99_s": 0.25}
+
+
+def make_table(n_keys: int) -> ShardedEmbedder:
+    """A sharded table pre-loaded with ``n_keys`` resident pairs."""
+    table = ShardedEmbedder(
+        capacity=max(2 * n_keys, 1024), value_bits=VALUE_BITS,
+        num_shards=4, seed=SEED,
+    )
+    rng = random.Random(SEED)
+    keys = list(range(1, n_keys + 1))
+    values = [rng.randrange(1 << VALUE_BITS) for _ in keys]
+    table.insert_batch(keys, values)
+    return table
+
+
+def make_requests(
+    n_keys: int, keys_per_request: int, seed: int, count: int,
+) -> list:
+    """Pre-generated request plan so the timed loop only does I/O.
+
+    Each entry is ``("lookup", keys)`` or ``("update", pairs)``; the loop
+    cycles through the plan if it outlasts ``count`` requests.
+    """
+    rng = random.Random(seed)
+    plan = []
+    for _ in range(count):
+        keys = [rng.randrange(1, n_keys + 1) for _ in range(keys_per_request)]
+        if rng.random() < WRITE_FRACTION:
+            plan.append(("update", [
+                (k, rng.randrange(1 << VALUE_BITS)) for k in keys]))
+        else:
+            plan.append(("lookup", keys))
+    return plan
+
+
+async def run_client(
+    port: int, plan: list, keys_per_request: int, duration_s: float,
+    latencies: list, counters: dict,
+) -> None:
+    """Closed loop: one outstanding request until the clock runs out."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + duration_s
+    index = 0
+    async with AsyncServeClient(port=port) as client:
+        while loop.time() < deadline:
+            kind, payload = plan[index % len(plan)]
+            index += 1
+            start = loop.time()
+            if kind == "update":
+                await client.update(payload)
+            else:
+                await client.lookup(payload)
+            latencies.append(loop.time() - start)
+            counters["requests"] += 1
+            counters["keys"] += keys_per_request
+
+
+async def run_leg(
+    table: ShardedEmbedder, config: ServeConfig,
+    clients: int, n_keys: int, keys_per_request: int, duration_s: float,
+) -> tuple:
+    """Serve one leg; returns ``(stats_dict, server_registry)``."""
+    server = TableServer(table, config)
+    await server.start()
+    latencies: list = []
+    counters = {"requests": 0, "keys": 0}
+    plans = [
+        make_requests(n_keys, keys_per_request, SEED + i, 512)
+        for i in range(clients)
+    ]
+    start = time.perf_counter()
+    try:
+        await asyncio.gather(*[
+            run_client(server.port, plans[i], keys_per_request, duration_s,
+                       latencies, counters)
+            for i in range(clients)
+        ])
+    finally:
+        elapsed = time.perf_counter() - start
+        await server.stop()
+    latencies.sort()
+
+    def pct(q: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    stats = {
+        "requests": counters["requests"],
+        "keys_served": counters["keys"],
+        "seconds": round(elapsed, 3),
+        "kops": round(counters["keys"] / elapsed / 1000, 2),
+        "requests_per_s": round(counters["requests"] / elapsed, 1),
+        "latency_p50_ms": round(pct(0.50) * 1000, 3),
+        "latency_p99_ms": round(pct(0.99) * 1000, 3),
+        "batches_flushed": server._batcher.batches_flushed,
+        "mean_batch_keys": round(
+            counters["keys"] / max(server._batcher.batches_flushed, 1), 1),
+    }
+    return stats, server.registry
+
+
+def check_sidecar(json_path: str, prom_path: str, requests: int) -> list:
+    """Validate the serve-metrics sidecars against client-side truth."""
+    problems = []
+    try:
+        with open(json_path) as handle:
+            snapshot = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"{json_path} unreadable: {exc}"]
+    try:
+        with open(prom_path) as handle:
+            samples = parse_prometheus_text(handle.read())
+    except (OSError, ValueError) as exc:
+        return [f"{prom_path} unreadable: {exc}"]
+
+    if snapshot.get("format") != "repro-metrics/1":
+        problems.append(f"unexpected format marker {snapshot.get('format')!r}")
+    batch = snapshot.get("histograms", {}).get("repro_serve_batch_size")
+    if batch is None or batch["count"] == 0:
+        problems.append("batch-size histogram missing or empty")
+    served = snapshot.get("counters", {}).get(
+        "repro_serve_requests_total", {}).get("value")
+    if served != requests:
+        problems.append(
+            f"repro_serve_requests_total={served!r} but the clients "
+            f"completed {requests} requests"
+        )
+    if samples.get("repro_serve_requests_total") != served:
+        problems.append("prom/json request counts disagree")
+    return problems
+
+
+async def run_benchmark(args: argparse.Namespace) -> dict:
+    n_keys = 5_000 if args.smoke else 50_000
+    duration_s = 1.0 if args.smoke else 5.0
+    table = make_table(n_keys)
+    batched_config = ServeConfig(
+        batch_window_ms=args.window_ms, max_batch=args.max_batch)
+
+    legs: dict = {}
+    registries = {}
+    for name, config in (
+        ("unbatched", batched_config.unbatched()),
+        ("batched", batched_config),
+    ):
+        legs[name], registries[name] = await run_leg(
+            table, config, args.clients, n_keys, args.keys_per_request,
+            duration_s)
+        print(f"{name:>10}: {legs[name]['kops']:8.1f} kops  "
+              f"p50={legs[name]['latency_p50_ms']:6.2f}ms  "
+              f"p99={legs[name]['latency_p99_ms']:6.2f}ms  "
+              f"mean_batch={legs[name]['mean_batch_keys']:.1f} keys")
+
+    if args.metrics_out:
+        json_path, prom_path = write_sidecar(
+            registries["batched"], args.metrics_out)
+        print(f"wrote {json_path} and {prom_path}")
+
+    return {"legs": legs}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=32,
+                        help="concurrent closed-loop clients (default 32)")
+    parser.add_argument("--keys-per-request", type=int, default=32,
+                        help="keys per client request (default 32)")
+    parser.add_argument("--window-ms", type=float, default=1.0,
+                        help="micro-batch window for the batched leg "
+                             "(default 1.0)")
+    parser.add_argument("--max-batch", type=int, default=1024,
+                        help="batched-leg flush size in key-ops "
+                             "(default 1024)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short CI mode (~5 s) with relaxed gates")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when the batched leg misses "
+                             "a gate")
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="output path (default BENCH_serve.json)")
+    parser.add_argument("--metrics-out", default=None, metavar="BASE",
+                        help="also write the batched leg's server metrics "
+                             "as BASE.metrics.{json,prom}")
+    args = parser.parse_args(argv)
+
+    gates = SMOKE_GATES if args.smoke else FULL_GATES
+    print(f"serve benchmark: clients={args.clients} smoke={args.smoke} "
+          f"window={args.window_ms}ms keys/request={args.keys_per_request} "
+          f"write_fraction={WRITE_FRACTION}")
+    result = asyncio.run(run_benchmark(args))
+    legs = result["legs"]
+
+    report = {
+        "benchmark": "bench_serve",
+        "smoke": args.smoke,
+        "clients": args.clients,
+        "keys_per_request": args.keys_per_request,
+        "write_fraction": WRITE_FRACTION,
+        "seed": SEED,
+        "legs": legs,
+        "gates": gates,
+        "batching_speedup": round(
+            legs["batched"]["kops"] / max(legs["unbatched"]["kops"], 0.001),
+            2),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"batching speedup: {report['batching_speedup']}x  "
+          f"(gates: {gates})")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = []
+        batched = legs["batched"]
+        if batched["kops"] < gates["min_kops"]:
+            failures.append(
+                f"throughput {batched['kops']:.1f} kops < required "
+                f"{gates['min_kops']:.1f} kops")
+        if batched["latency_p99_ms"] / 1000 > gates["max_p99_s"]:
+            failures.append(
+                f"p99 {batched['latency_p99_ms']:.2f} ms > allowed "
+                f"{gates['max_p99_s'] * 1000:.1f} ms")
+        if args.metrics_out:
+            base, _ = os.path.splitext(args.metrics_out)
+            if not args.metrics_out.endswith((".json", ".csv", ".txt",
+                                              ".prom")):
+                base = args.metrics_out
+            failures.extend(check_sidecar(
+                base + ".metrics.json", base + ".metrics.prom",
+                batched["requests"]))
+        if failures:
+            for failure in failures:
+                print(f"FAIL batched leg: {failure}", file=sys.stderr)
+            return 1
+        print("all serving gates met")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

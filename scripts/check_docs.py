@@ -31,7 +31,8 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Files whose python fences must *run*, not merely parse. Fences in one
 #: file share a namespace (earlier fences define names for later ones).
-EXEC_FILES = ("docs/observability.md", "docs/static_analysis.md", "README.md")
+EXEC_FILES = ("docs/observability.md", "docs/static_analysis.md",
+              "docs/serving.md", "README.md")
 
 FENCE_RE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
 

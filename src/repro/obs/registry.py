@@ -46,6 +46,13 @@ BATCH_SIZE_BUCKETS: Tuple[Number, ...] = (1, 8, 64, 512, 4096, 32768)
 RECONSTRUCT_SECONDS_BUCKETS: Tuple[Number, ...] = (
     0.001, 0.01, 0.1, 1.0, 10.0, 60.0,
 )
+#: Request-latency bounds for the serving layer (repro.serve): sub-ms
+#: resolution around the micro-batch window, tailing off at multi-second
+#: outliers so a stalled drain still lands in a finite bucket.
+LATENCY_SECONDS_BUCKETS: Tuple[Number, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 10.0,
+)
 
 
 class Counter:
@@ -155,6 +162,34 @@ class Histogram:
             out.append((bound, running))
         out.append((float("inf"), running + self.counts[-1]))
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket tallies.
+
+        Prometheus ``histogram_quantile`` semantics: find the bucket the
+        target rank falls into, then interpolate linearly inside it (the
+        first bucket interpolates from 0). A rank landing in the ``+Inf``
+        bucket returns the largest finite bound — the estimate is then a
+        lower bound, which is the conservative direction for latency
+        gates. Raises ``ValueError`` on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            total = self.count
+            counts = list(self.counts)
+        if total == 0:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        rank = q * total
+        running = 0.0
+        for index, count in enumerate(counts[:-1]):
+            if running + count >= rank and count > 0:
+                lower = self.bounds[index - 1] if index else 0.0
+                upper = self.bounds[index]
+                fraction = (rank - running) / count
+                return lower + (upper - lower) * max(0.0, min(1.0, fraction))
+            running += count
+        return self.bounds[-1]
 
 
 Metric = Union[Counter, Gauge, Histogram]

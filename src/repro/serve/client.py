@@ -1,0 +1,237 @@
+"""Clients for the serving layer: asyncio-native and blocking.
+
+Both speak the protocol of :mod:`repro.serve.protocol` and translate
+error responses back into the library's own exception types — a 409 from
+the server raises :class:`~repro.core.errors.DuplicateKey` exactly as a
+local ``insert`` would, a 429 raises
+:class:`~repro.serve.batcher.Overloaded`, so caller code is the same
+whether the table is in-process or behind the wire.
+
+- :class:`AsyncServeClient` — one keep-alive connection on the calling
+  event loop; requests on one client are sequential (use one client per
+  concurrent task — the benchmark's load generator does exactly that).
+- :class:`ServeClient` — synchronous, built on ``http.client``; pairs
+  with :class:`~repro.serve.server.ServerThread` or an out-of-process
+  ``python -m repro.serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.serve.protocol import (
+    ProtocolError,
+    dump_json,
+    exception_from,
+    read_http_response,
+    render_http_request,
+)
+
+__all__ = ["AsyncServeClient", "ServeClient"]
+
+JsonKey = Union[int, str]
+
+
+def _pairs_body(pairs: Iterable[Tuple[JsonKey, int]]) -> Dict[str, Any]:
+    keys: List[JsonKey] = []
+    values: List[int] = []
+    for key, value in pairs:
+        keys.append(key)
+        values.append(int(value))
+    return {"keys": keys, "values": values}
+
+
+def _decode(status: int, content_type: str, body: bytes) -> Any:
+    """Raise the protocol's exception on error statuses, else decode."""
+    if "json" in content_type:
+        try:
+            decoded = json.loads(body)
+        except ValueError as exc:
+            raise ProtocolError(
+                f"server sent invalid JSON: {exc}", status=502
+            ) from exc
+    else:
+        decoded = body.decode("utf-8", "replace")
+    if status >= 400:
+        payload = decoded if isinstance(decoded, dict) else {}
+        raise exception_from(status, payload)
+    return decoded
+
+
+class AsyncServeClient:
+    """One keep-alive connection to a :class:`TableServer`.
+
+    ``connect()`` is implicit on first use; also an async context
+    manager. Not task-safe: a client serialises its own requests, so give
+    each concurrent task its own client.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "AsyncServeClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    async def _request(self, method: str, path: str,
+                       body: Optional[Dict[str, Any]] = None) -> Any:
+        await self.connect()
+        if self._reader is None or self._writer is None:
+            raise ProtocolError("client not connected", status=502)
+        payload = dump_json(body) if body is not None else None
+        self._writer.write(render_http_request(
+            method, path, payload, host=self.host))
+        await self._writer.drain()
+        status, headers, raw = await asyncio.wait_for(
+            read_http_response(self._reader), self.timeout_s
+        )
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return _decode(status, headers.get("content-type", ""), raw)
+
+    # -- table operations ----------------------------------------------
+
+    async def lookup(self, keys: Sequence[JsonKey]) -> List[int]:
+        """Batched lookup; value-only semantics (alien keys answer noise)."""
+        response = await self._request(
+            "POST", "/v1/lookup", {"keys": list(keys)})
+        return list(response["values"])
+
+    async def insert(self, pairs: Iterable[Tuple[JsonKey, int]]) -> int:
+        response = await self._request(
+            "POST", "/v1/insert", _pairs_body(pairs))
+        return int(response["inserted"])
+
+    async def update(self, pairs: Iterable[Tuple[JsonKey, int]]) -> int:
+        response = await self._request(
+            "POST", "/v1/update", _pairs_body(pairs))
+        return int(response["updated"])
+
+    async def delete(self, keys: Sequence[JsonKey]) -> int:
+        response = await self._request(
+            "POST", "/v1/delete", {"keys": list(keys)})
+        return int(response["deleted"])
+
+    # -- operational endpoints -----------------------------------------
+
+    async def health(self) -> Dict[str, Any]:
+        result = await self._request("GET", "/healthz")
+        return dict(result)
+
+    async def stats(self) -> Dict[str, Any]:
+        result = await self._request("GET", "/stats")
+        return dict(result)
+
+    async def metrics_text(self) -> str:
+        return str(await self._request("GET", "/metrics"))
+
+
+class ServeClient:
+    """Blocking client over ``http.client`` (one keep-alive connection)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Any:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        try:
+            self._conn.request(
+                method, path,
+                body=dump_json(body) if body is not None else None,
+                headers={"Content-Type": "application/json"},
+            )
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # One reconnect: the server may have closed an idle keep-alive.
+            self.close()
+            raise
+        if response.getheader("Connection", "").lower() == "close":
+            self.close()
+        return _decode(
+            response.status, response.getheader("Content-Type", "") or "",
+            raw,
+        )
+
+    # -- table operations ----------------------------------------------
+
+    def lookup(self, keys: Sequence[JsonKey]) -> List[int]:
+        return list(
+            self._request("POST", "/v1/lookup", {"keys": list(keys)})
+            ["values"]
+        )
+
+    def insert(self, pairs: Iterable[Tuple[JsonKey, int]]) -> int:
+        return int(
+            self._request("POST", "/v1/insert", _pairs_body(pairs))
+            ["inserted"]
+        )
+
+    def update(self, pairs: Iterable[Tuple[JsonKey, int]]) -> int:
+        return int(
+            self._request("POST", "/v1/update", _pairs_body(pairs))
+            ["updated"]
+        )
+
+    def delete(self, keys: Sequence[JsonKey]) -> int:
+        return int(
+            self._request("POST", "/v1/delete", {"keys": list(keys)})
+            ["deleted"]
+        )
+
+    # -- operational endpoints -----------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return dict(self._request("GET", "/healthz"))
+
+    def stats(self) -> Dict[str, Any]:
+        return dict(self._request("GET", "/stats"))
+
+    def metrics_text(self) -> str:
+        return str(self._request("GET", "/metrics"))

@@ -1,0 +1,574 @@
+"""The serving layer: batcher semantics, protocol, and the live server.
+
+Three tiers, each one event loop per test via ``asyncio.run`` (the suite
+has no async plugin, and a fresh loop per test is also the isolation the
+batcher's lazily-started flush task wants):
+
+- :class:`MicroBatcher` in isolation against a recording handler — the
+  ordering, admission-control, window-expiry, and drain guarantees its
+  docstring promises, including the edge cases (single op flushed by
+  window expiry, oversized op admitted on an empty queue, shutdown
+  mid-batch draining accepted work, a handler raise failing the whole
+  batch but only that batch).
+- The wire protocol's pure functions — body validation, the
+  exception ↔ status-code table round-tripping both directions, HTTP
+  framing parsers against hand-built byte streams.
+- A real :class:`TableServer` over a small :class:`ShardedEmbedder`,
+  driven by the async client (and :class:`ServerThread` by the sync
+  client): end-to-end operations, per-request error isolation inside a
+  coalesced batch, 429 shedding, the observability endpoints, and
+  graceful shutdown answering everything it accepted.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.errors import DuplicateKey, KeyNotFound
+from repro.core.sharded import ShardedEmbedder
+from repro.obs import MetricsRegistry, parse_prometheus_text
+from repro.serve import (
+    AsyncServeClient,
+    BatchOp,
+    BatcherClosed,
+    MicroBatcher,
+    Overloaded,
+    ProtocolError,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    ServerThread,
+    TableServer,
+)
+from repro.serve.protocol import (
+    error_response,
+    exception_from,
+    parse_keys,
+    parse_pairs,
+    read_http_request,
+    read_http_response,
+    render_http_request,
+    render_http_response,
+)
+
+
+def make_table(n_keys=0, capacity=4096, value_bits=12):
+    table = ShardedEmbedder(
+        capacity=capacity, value_bits=value_bits, num_shards=2, seed=5
+    )
+    if n_keys:
+        table.insert_batch(
+            list(range(1, n_keys + 1)),
+            [k % (1 << value_bits) for k in range(1, n_keys + 1)],
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# MicroBatcher semantics (recording handler, no table, no sockets)
+# ---------------------------------------------------------------------------
+
+
+class RecordingHandler:
+    """Echoes each op's keys back as its result; records batch shapes."""
+
+    def __init__(self):
+        self.batches = []
+
+    def __call__(self, batch):
+        self.batches.append([(op.kind, list(op.keys)) for op in batch])
+        return [list(op.keys) for op in batch]
+
+
+def test_batcher_single_op_flushed_by_window_expiry():
+    """One lone op must not wait for a full batch — the window flushes it."""
+    async def scenario():
+        handler = RecordingHandler()
+        batcher = MicroBatcher(handler, max_batch=1024, window_s=0.005)
+        result = await batcher.submit(BatchOp("lookup", [1, 2, 3]))
+        assert result == [1, 2, 3]
+        assert handler.batches == [[("lookup", [1, 2, 3])]]
+        await batcher.close()
+
+    asyncio.run(scenario())
+
+
+def test_batcher_zero_window_flushes_immediately():
+    async def scenario():
+        handler = RecordingHandler()
+        batcher = MicroBatcher(handler, max_batch=1024, window_s=0.0)
+        assert await batcher.submit(BatchOp("lookup", [9])) == [9]
+        assert batcher.batches_flushed == 1
+        await batcher.close()
+
+    asyncio.run(scenario())
+
+
+def test_batcher_coalesces_concurrent_submissions():
+    """Ops arriving within one window land in one handler call, in order."""
+    async def scenario():
+        handler = RecordingHandler()
+        batcher = MicroBatcher(handler, max_batch=1024, window_s=0.02)
+        results = await asyncio.gather(
+            batcher.submit(BatchOp("lookup", [1])),
+            batcher.submit(BatchOp("insert", [2], [20])),
+            batcher.submit(BatchOp("lookup", [3])),
+        )
+        assert results == [[1], [2], [3]]
+        assert len(handler.batches) == 1
+        assert [kind for kind, _ in handler.batches[0]] == \
+            ["lookup", "insert", "lookup"]
+        await batcher.close()
+
+    asyncio.run(scenario())
+
+
+def test_batcher_full_batch_flushes_before_window():
+    """max_batch key-ops flush at once even with a very long window."""
+    async def scenario():
+        handler = RecordingHandler()
+        batcher = MicroBatcher(handler, max_batch=4, window_s=60.0)
+        results = await asyncio.gather(
+            *[batcher.submit(BatchOp("lookup", [i, i])) for i in range(4)]
+        )
+        assert results == [[i, i] for i in range(4)]
+        # 8 key-ops with a 4-op budget: two batches of two requests each,
+        # neither waiting out the 60 s window.
+        assert [len(b) for b in handler.batches] == [2, 2]
+        await batcher.close()
+
+    asyncio.run(scenario())
+
+
+def test_batcher_never_splits_a_request():
+    """An op larger than max_batch is admitted (empty queue) and flushes
+    alone rather than being chopped."""
+    async def scenario():
+        handler = RecordingHandler()
+        batcher = MicroBatcher(handler, max_batch=4, max_queue=4,
+                               window_s=0.001)
+        result = await batcher.submit(BatchOp("lookup", list(range(10))))
+        assert result == list(range(10))
+        assert [len(b) for b in handler.batches] == [1]
+        await batcher.close()
+
+    asyncio.run(scenario())
+
+
+def test_batcher_sheds_past_queue_bound():
+    """Admission control: the op that would exceed max_queue raises
+    Overloaded before enqueueing; earlier ops are unaffected."""
+    async def scenario():
+        release = asyncio.Event()
+
+        async def run():
+            batcher = MicroBatcher(
+                lambda batch: [list(op.keys) for op in batch],
+                max_batch=4, max_queue=8, window_s=60.0,
+            )
+            first = asyncio.ensure_future(
+                batcher.submit(BatchOp("lookup", [1, 2, 3])))
+            await asyncio.sleep(0)  # let it enqueue (depth 3 < max_batch 4)
+            with pytest.raises(Overloaded):
+                await batcher.submit(BatchOp("lookup", list(range(6))))
+            assert batcher.ops_shed == 1
+            assert batcher.depth == 3  # the shed op left no residue
+            await batcher.close()  # drains the queued op
+            assert await first == [1, 2, 3]
+
+        await run()
+        release.set()
+
+    asyncio.run(scenario())
+
+
+def test_batcher_close_drains_accepted_work_and_rejects_new():
+    """Shutdown mid-batch: everything accepted resolves, late submitters
+    get BatcherClosed."""
+    async def scenario():
+        handler = RecordingHandler()
+        batcher = MicroBatcher(handler, max_batch=1024, window_s=60.0)
+        pending = [
+            asyncio.ensure_future(batcher.submit(BatchOp("lookup", [i])))
+            for i in range(5)
+        ]
+        await asyncio.sleep(0)  # all five queued, window far away
+        await batcher.close()
+        assert [await f for f in pending] == [[i] for i in range(5)]
+        with pytest.raises(BatcherClosed):
+            await batcher.submit(BatchOp("lookup", [99]))
+        await batcher.close()  # idempotent
+
+    asyncio.run(scenario())
+
+
+def test_batcher_handler_raise_fails_batch_not_loop():
+    """A handler exception fails that batch's futures; the next batch
+    executes normally."""
+    async def scenario():
+        calls = {"n": 0}
+
+        def flaky(batch):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("boom")
+            return [list(op.keys) for op in batch]
+
+        batcher = MicroBatcher(flaky, max_batch=1024, window_s=0.001)
+        with pytest.raises(RuntimeError):
+            await batcher.submit(BatchOp("lookup", [1]))
+        assert await batcher.submit(BatchOp("lookup", [2])) == [2]
+        await batcher.close()
+
+    asyncio.run(scenario())
+
+
+def test_batcher_per_op_exception_result():
+    """An Exception instance in the result list fails only that op."""
+    async def scenario():
+        def handler(batch):
+            return [
+                KeyNotFound("nope") if op.kind == "update" else list(op.keys)
+                for op in batch
+            ]
+
+        batcher = MicroBatcher(handler, max_batch=1024, window_s=0.02)
+        good, bad = await asyncio.gather(
+            batcher.submit(BatchOp("lookup", [1])),
+            batcher.submit(BatchOp("update", [2], [20])),
+            return_exceptions=True,
+        )
+        assert good == [1]
+        assert isinstance(bad, KeyNotFound)
+        await batcher.close()
+
+    asyncio.run(scenario())
+
+
+def test_batcher_result_length_mismatch_fails_batch():
+    async def scenario():
+        batcher = MicroBatcher(lambda batch: [], max_batch=8,
+                               window_s=0.001)
+        with pytest.raises(ValueError, match="0 results"):
+            await batcher.submit(BatchOp("lookup", [1]))
+        await batcher.close()
+
+    asyncio.run(scenario())
+
+
+def test_batcher_rejects_bad_parameters():
+    async def scenario():
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: [], max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: [], max_batch=8, max_queue=4)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: [], window_s=-1.0)
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Protocol: schemas, the error table, HTTP framing
+# ---------------------------------------------------------------------------
+
+
+def test_parse_keys_validation():
+    assert parse_keys({"keys": [1, "a"]}) == [1, "a"]
+    for bad in ({}, {"keys": []}, {"keys": "a"}, {"keys": [1.5]},
+                {"keys": [True]}, {"keys": [None]}):
+        with pytest.raises(ProtocolError):
+            parse_keys(bad)
+
+
+def test_parse_pairs_validation():
+    assert parse_pairs({"keys": [1], "values": [2]}) == ([1], [2])
+    for bad in ({"keys": [1]}, {"keys": [1], "values": [1, 2]},
+                {"keys": [1], "values": ["x"]},
+                {"keys": [1], "values": [True]}):
+        with pytest.raises(ProtocolError):
+            parse_pairs(bad)
+
+
+@pytest.mark.parametrize("exc,status,code", [
+    (Overloaded("q"), 429, "overloaded"),
+    (BatcherClosed("d"), 503, "shutting_down"),
+    (DuplicateKey("k"), 409, "duplicate_key"),
+    (KeyNotFound("k"), 404, "key_not_found"),
+    (ValueError("v"), 400, "bad_request"),
+])
+def test_error_table_round_trips(exc, status, code):
+    got_status, body = error_response(exc)
+    assert got_status == status
+    assert body["error"] == code
+    rebuilt = exception_from(got_status, body)
+    assert type(rebuilt) is type(exc)
+
+
+def test_unknown_error_code_becomes_serve_error():
+    rebuilt = exception_from(418, {"error": "teapot", "detail": "short"})
+    assert isinstance(rebuilt, ServeError)
+    assert rebuilt.status == 418
+
+
+def test_http_framing_round_trip():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(render_http_request(
+            "POST", "/v1/lookup", b'{"keys":[1]}', host="h"))
+        reader.feed_eof()
+        method, path, headers, body = await read_http_request(reader, 1 << 20)
+        assert (method, path, body) == ("POST", "/v1/lookup", b'{"keys":[1]}')
+        assert headers["content-length"] == "12"
+
+        reader = asyncio.StreamReader()
+        reader.feed_data(render_http_response(200, b'{"values":[5]}'))
+        reader.feed_eof()
+        status, headers, body = await read_http_response(reader)
+        assert (status, body) == (200, b'{"values":[5]}')
+        assert headers["connection"] == "keep-alive"
+
+    asyncio.run(scenario())
+
+
+def test_http_request_body_limit_and_eof():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(render_http_request("POST", "/x", b"12345"))
+        reader.feed_eof()
+        with pytest.raises(ProtocolError) as info:
+            await read_http_request(reader, max_body_bytes=4)
+        assert info.value.status == 413
+
+        reader = asyncio.StreamReader()
+        reader.feed_eof()
+        assert await read_http_request(reader, 1 << 20) is None
+
+    asyncio.run(scenario())
+
+
+def test_serve_config_validation_and_unbatched():
+    config = ServeConfig(batch_window_ms=2.0, max_batch=64, max_queue=128)
+    assert config.batch_window_s == 0.002
+    solo = config.unbatched()
+    assert solo.max_batch == 1 and solo.batch_window_ms == 0.0
+    assert solo.max_queue == 128  # admission bound survives
+    with pytest.raises(ValueError):
+        ServeConfig(max_batch=0)
+    with pytest.raises(ValueError):
+        ServeConfig(max_batch=64, max_queue=32)
+    with pytest.raises(ValueError):
+        ServeConfig(batch_window_ms=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: TableServer + AsyncServeClient
+# ---------------------------------------------------------------------------
+
+
+def run_with_server(scenario, table=None, config=None, registry=None):
+    """Start a TableServer on an ephemeral port, run ``scenario(server,
+    table)``, always stop the server."""
+    table = table if table is not None else make_table()
+    config = config if config is not None else ServeConfig()
+
+    async def main():
+        server = TableServer(table, config, registry=registry)
+        await server.start()
+        try:
+            await scenario(server, table)
+        finally:
+            await server.stop()
+
+    asyncio.run(main())
+
+
+def test_server_crud_round_trip():
+    async def scenario(server, table):
+        async with AsyncServeClient(port=server.port) as client:
+            assert await client.insert([("a", 1), ("b", 2), (7, 3)]) == 3
+            assert await client.lookup(["a", "b", 7]) == [1, 2, 3]
+            assert await client.update([("a", 9)]) == 1
+            assert await client.lookup(["a"]) == [9]
+            assert await client.delete(["a", "b"]) == 2
+            assert len(table) == 1  # the int key survives
+
+    run_with_server(scenario)
+
+
+def test_server_maps_library_errors_to_statuses():
+    async def scenario(server, table):
+        async with AsyncServeClient(port=server.port) as client:
+            await client.insert([("dup", 1)])
+            with pytest.raises(DuplicateKey):
+                await client.insert([("dup", 2)])
+            with pytest.raises(KeyNotFound):
+                await client.update([("missing", 1)])
+            with pytest.raises(KeyNotFound):
+                await client.delete(["missing"])
+            # an empty keys array is a 400; the client rebuilds the
+            # error table's inverse for bad_request, which is ValueError
+            with pytest.raises(ValueError):
+                await client.lookup([])
+            # the failures left the table consistent
+            assert await client.lookup(["dup"]) == [1]
+
+    run_with_server(scenario)
+
+
+def test_server_isolates_failing_request_within_batch():
+    """Two inserts coalesced into one batch: the duplicate fails, the
+    innocent one lands."""
+    async def scenario(server, table):
+        async with AsyncServeClient(port=server.port) as c1, \
+                AsyncServeClient(port=server.port) as c2:
+            await c1.insert([("taken", 5)])
+            good, bad = await asyncio.gather(
+                c1.insert([("fresh", 6)]),
+                c2.insert([("taken", 7), ("casualty", 8)]),
+                return_exceptions=True,
+            )
+            assert good == 1
+            assert isinstance(bad, DuplicateKey)
+            assert await c1.lookup(["fresh"]) == [6]
+            # the failing request was all-or-nothing rejected
+            assert len(table) == 2
+
+    run_with_server(
+        scenario, config=ServeConfig(batch_window_ms=20.0))
+
+
+def test_server_mixed_kind_batch_preserves_arrival_order():
+    """A lookup submitted after an insert, coalesced into the same
+    micro-batch, observes the insert."""
+    async def scenario(server, table):
+        async with AsyncServeClient(port=server.port) as c1, \
+                AsyncServeClient(port=server.port) as c2:
+            insert_result, lookup_result = await asyncio.gather(
+                c1.insert([("new", 3)]),
+                c2.lookup(["new"]),
+            )
+            assert insert_result == 1
+            assert lookup_result == [3]
+
+    # A long window so both requests land in one batch; gather issues
+    # the insert first, so arrival order is insert-then-lookup.
+    run_with_server(scenario, config=ServeConfig(batch_window_ms=50.0))
+
+
+def test_server_sheds_when_queue_full():
+    async def scenario(server, table):
+        async with AsyncServeClient(port=server.port) as c1, \
+                AsyncServeClient(port=server.port) as c2, \
+                AsyncServeClient(port=server.port) as c3:
+            results = await asyncio.gather(
+                c1.lookup([1, 2, 3]),       # admitted (queue empty)
+                c2.lookup([4, 5, 6]),       # depth 3+3 = 6 <= 6
+                c3.lookup([7, 8]),          # 6+2 > 6 -> shed
+                return_exceptions=True,
+            )
+            overloaded = [r for r in results if isinstance(r, Overloaded)]
+            served = [r for r in results if isinstance(r, list)]
+            assert len(overloaded) == 1
+            assert len(served) == 2
+
+    run_with_server(
+        scenario,
+        table=make_table(n_keys=10),
+        # window long enough that all three arrive while queued
+        config=ServeConfig(batch_window_ms=100.0, max_batch=6, max_queue=6),
+    )
+
+
+def test_server_observability_endpoints():
+    registry = MetricsRegistry()
+
+    async def scenario(server, table):
+        async with AsyncServeClient(port=server.port) as client:
+            await client.insert([(1, 1), (2, 2)])
+            await client.lookup([1, 2])
+            health = await client.health()
+            assert health["status"] == "ok"
+            assert health["keys"] == 2
+
+            stats = await client.stats()
+            assert stats["format"] == "repro-metrics/1"
+            assert stats["serve"]["batches_flushed"] >= 2
+            assert stats["serve"]["latency"]["p99_s"] > 0
+            assert stats["counters"]["repro_serve_requests_total"][
+                "value"] >= 2
+
+            text = await client.metrics_text()
+            samples = parse_prometheus_text(text)
+            assert samples["repro_serve_keys_total"] == 4.0
+            assert samples["repro_serve_batch_size_count"] >= 2.0
+            # table metrics ride along in the merged registry
+            assert "repro_serve_queue_depth" in samples
+
+        # instruments live on the caller's registry too
+        assert "repro_serve_requests_total" in registry
+
+    run_with_server(scenario, registry=registry)
+
+
+def test_server_graceful_stop_answers_inflight_then_rejects():
+    """stop() drains: the queued request gets its answer, a request after
+    the drain gets connection refused / 503."""
+    async def scenario():
+        table = make_table(n_keys=4)
+        server = TableServer(
+            table, ServeConfig(batch_window_ms=200.0))
+        await server.start()
+        port = server.port
+        client = AsyncServeClient(port=port)
+        pending = asyncio.ensure_future(client.lookup([1, 2]))
+        await asyncio.sleep(0.02)  # parked in the 200 ms window
+        await server.stop()
+        assert await pending == [1 % (1 << 12), 2 % (1 << 12)]
+        await client.close()
+        with pytest.raises((ConnectionError, OSError, ProtocolError)):
+            fresh = AsyncServeClient(port=port)
+            await fresh.lookup([1])
+
+    asyncio.run(scenario())
+
+
+def test_server_rejects_unknown_paths_and_methods():
+    async def scenario(server, table):
+        async with AsyncServeClient(port=server.port) as client:
+            with pytest.raises(ServeError) as info:
+                await client._request("GET", "/nope")
+            assert info.value.status == 404
+            with pytest.raises(ServeError) as info:
+                await client._request("GET", "/v1/lookup")
+            assert info.value.status == 405
+
+    run_with_server(scenario)
+
+
+def test_server_thread_with_sync_client():
+    """The synchronous operator path: ServerThread + ServeClient."""
+    table = make_table()
+    with ServerThread(table, ServeConfig()) as handle:
+        with ServeClient(port=handle.port) as client:
+            assert client.insert([("k", 4)]) == 1
+            assert client.lookup(["k"]) == [4]
+            with pytest.raises(DuplicateKey):
+                client.insert([("k", 5)])
+            health = client.health()
+            assert health["keys"] == 1
+            samples = parse_prometheus_text(client.metrics_text())
+            assert samples["repro_serve_requests_total"] >= 4.0
+    # after stop() the port no longer answers
+    with pytest.raises((ConnectionError, OSError)):
+        with ServeClient(port=handle.port, timeout_s=0.5) as client:
+            client.lookup([1])
+
+
+def test_serve_module_exports_match_api_doc():
+    """Every public symbol the package advertises imports from the top."""
+    import repro.serve as serve
+
+    for name in serve.__all__:
+        assert getattr(serve, name) is not None
