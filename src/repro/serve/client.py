@@ -106,12 +106,25 @@ class AsyncServeClient:
         if self._reader is None or self._writer is None:
             raise ProtocolError("client not connected", status=502)
         payload = dump_json(body) if body is not None else None
-        self._writer.write(render_http_request(
-            method, path, payload, host=self.host))
-        await self._writer.drain()
-        status, headers, raw = await asyncio.wait_for(
-            read_http_response(self._reader), self.timeout_s
-        )
+        try:
+            self._writer.write(render_http_request(
+                method, path, payload, host=self.host))
+            await self._writer.drain()
+            status, headers, raw = await asyncio.wait_for(
+                read_http_response(self._reader), self.timeout_s
+            )
+        except BaseException:
+            # A timeout, cancellation, or read failure leaves the stream
+            # mid-exchange — the late response would be read by the NEXT
+            # request as its own. Drop the connection (synchronously: this
+            # must hold even while being cancelled) so the next request
+            # reconnects fresh.
+            writer = self._writer
+            self._reader = None
+            self._writer = None
+            if writer is not None:
+                writer.close()
+            raise
         if headers.get("connection", "").lower() == "close":
             await self.close()
         return _decode(status, headers.get("content-type", ""), raw)
@@ -189,7 +202,11 @@ class ServeClient:
             response = self._conn.getresponse()
             raw = response.read()
         except (http.client.HTTPException, ConnectionError, OSError):
-            # One reconnect: the server may have closed an idle keep-alive.
+            # Drop the connection so the next call reconnects fresh
+            # (covers the server closing an idle keep-alive). No
+            # automatic replay: the request may have been applied before
+            # the failure, so retrying is the caller's idempotency-aware
+            # decision.
             self.close()
             raise
         if response.getheader("Connection", "").lower() == "close":

@@ -73,8 +73,8 @@ _CODE_TO_EXCEPTION: Dict[str, Type[BaseException]] = {
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not "
     "Allowed", 409: "Conflict", 413: "Payload Too Large", 429: "Too Many "
-    "Requests", 500: "Internal Server Error", 503: "Service Unavailable",
-    507: "Insufficient Storage",
+    "Requests", 500: "Internal Server Error", 501: "Not Implemented",
+    503: "Service Unavailable", 507: "Insufficient Storage",
 }
 
 JsonKey = Union[int, str]
@@ -247,6 +247,16 @@ async def read_http_request(
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise ProtocolError(f"malformed request line {' '.join(parts)!r}")
     method, path, _version = parts
+    if "transfer-encoding" in headers:
+        # Framing here is Content-Length only. Silently ignoring the
+        # header would parse the chunk bytes as the next pipelined
+        # request (request-smuggling-shaped desync), so refuse — the
+        # server answers 501 and hangs up (ProtocolError closes the
+        # connection).
+        raise ProtocolError(
+            "Transfer-Encoding is not supported; send Content-Length",
+            status=501,
+        )
     length = _content_length(headers, max_body_bytes)
     body = await reader.readexactly(length) if length else b""
     return method.upper(), path, headers, body

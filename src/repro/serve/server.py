@@ -20,12 +20,18 @@ loop is the table's single writer — no locks, and safe in front of the
 non-thread-safe ``VisionEmbedder``/``ShardedEmbedder``.
 
 Failure isolation: a coalesced insert run first tries one vectorised
-``insert_batch``; the table's all-or-nothing validation means one
-request's duplicate key would reject innocent batch-mates, so on any
-library error the run re-executes request by request and only the
-offending request fails (HTTP 409/404/...), exactly as if it had been
-served alone. Updates and deletes execute per key (no batch primitive
-exists) with the same per-request isolation.
+``insert_batch`` — but only when the table provides one, because its
+all-or-nothing *validation* is what makes the fallback sound: a
+rejected merged call (duplicate key, bad value) applied nothing, so the
+run re-executes request by request and only the offending request
+fails (HTTP 409/400/...), exactly as if it had been served alone.
+:class:`~repro.core.errors.SpaceExhausted` is the exception — the
+table keeps the already-walked prefix, so the merged call is *not*
+retried (a retry would answer spurious 409s for keys that actually
+landed); every coalesced request gets the 507 instead. Tables without
+``insert_batch`` insert per key with no rollback, so their requests
+are never coalesced. Updates and deletes execute per key (no batch
+primitive exists) with the same per-request isolation.
 
 Operational surface: ``/healthz``, ``/stats`` (JSON metrics snapshot +
 latency percentiles), ``/metrics`` (Prometheus text), graceful
@@ -39,7 +45,7 @@ import asyncio
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.errors import ReproError
+from repro.core.errors import ReproError, SpaceExhausted
 from repro.obs.exporters import json_snapshot, prometheus_text
 from repro.obs.registry import (
     BATCH_SIZE_BUCKETS,
@@ -95,6 +101,10 @@ class TableServer:
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.table = table
+        # insert_batch, when the table has one, is the licence to merge
+        # requests: its validation rejects all-or-nothing (see
+        # _run_inserts). Absent it, inserts run per request only.
+        self._batch_inserter = getattr(table, "insert_batch", None)
         self.config = config if config is not None else ServeConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         self._batcher = MicroBatcher(
@@ -359,24 +369,34 @@ class TableServer:
         return out
 
     def _run_inserts(self, run: List[BatchOp]) -> List[Any]:
-        """Vectorised happy path, per-request fallback on any rejection.
+        """Vectorised happy path, per-request fallback on rejection.
 
-        ``insert_batch`` validates all-or-nothing, so a single duplicate
-        (within one request, across coalesced requests, or against live
-        keys) rejects the merged call having applied nothing — then each
-        request re-executes alone and only the offender fails.
+        The merged fast path is taken only when the table provides
+        ``insert_batch``: its validation is all-or-nothing, so a rejected
+        merged call (duplicate key, bad value) applied nothing and each
+        request can re-execute alone with only the offender failing.
+        ``SpaceExhausted`` breaks that assumption — the table keeps the
+        already-walked prefix — so it is never blind-retried: which
+        requests' keys landed is unknowable, and a retry would answer
+        spurious ``DuplicateKey`` for committed data. Every coalesced
+        request gets the 507 instead (the table may hold a prefix of the
+        batch, same as a local ``insert_batch`` caller observes). Tables
+        without ``insert_batch`` insert per key with no rollback, so
+        their requests are never coalesced in the first place.
         """
-        if len(run) > 1:
+        if self._batch_inserter is not None and len(run) > 1:
             merged_keys: List[Any] = []
             merged_values: List[int] = []
             for op in run:
                 merged_keys.extend(op.keys)
                 merged_values.extend(op.values or ())
             try:
-                self._insert_pairs(merged_keys, merged_values)
+                self._batch_inserter(merged_keys, merged_values)
                 return [op.cost for op in run]
+            except SpaceExhausted as exc:
+                return [exc for _ in run]
             except (ReproError, ValueError):
-                pass  # isolate the offender below
+                pass  # all-or-nothing rejection: isolate the offender below
         out: List[Any] = []
         for op in run:
             try:
@@ -387,9 +407,8 @@ class TableServer:
         return out
 
     def _insert_pairs(self, keys: List[Any], values: List[int]) -> None:
-        insert_batch = getattr(self.table, "insert_batch", None)
-        if insert_batch is not None:
-            insert_batch(keys, values)
+        if self._batch_inserter is not None:
+            self._batch_inserter(keys, values)
             return
         for key, value in zip(keys, values):
             self.table.insert(key, value)

@@ -25,7 +25,7 @@ import json
 
 import pytest
 
-from repro.core.errors import DuplicateKey, KeyNotFound
+from repro.core.errors import DuplicateKey, KeyNotFound, SpaceExhausted
 from repro.core.sharded import ShardedEmbedder
 from repro.obs import MetricsRegistry, parse_prometheus_text
 from repro.serve import (
@@ -332,6 +332,27 @@ def test_http_framing_round_trip():
     asyncio.run(scenario())
 
 
+def test_http_request_rejects_transfer_encoding():
+    """Chunked framing is refused outright — honouring Content-Length
+    only while ignoring Transfer-Encoding would parse the chunk bytes as
+    the next pipelined request."""
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(
+            b"POST /v1/lookup HTTP/1.1\r\n"
+            b"Host: h\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"\r\n"
+            b"c\r\n{\"keys\":[1]}\r\n0\r\n\r\n"
+        )
+        reader.feed_eof()
+        with pytest.raises(ProtocolError) as info:
+            await read_http_request(reader, 1 << 20)
+        assert info.value.status == 501
+
+    asyncio.run(scenario())
+
+
 def test_http_request_body_limit_and_eof():
     async def scenario():
         reader = asyncio.StreamReader()
@@ -439,6 +460,68 @@ def test_server_isolates_failing_request_within_batch():
         scenario, config=ServeConfig(batch_window_ms=20.0))
 
 
+class _PrefixExhaustingTable:
+    """``insert_batch`` applies a prefix, then raises SpaceExhausted —
+    the partial-application contract the real tables document."""
+
+    def __init__(self):
+        self.calls = 0
+        self.applied = []
+
+    def insert_batch(self, keys, values):
+        self.calls += 1
+        self.applied.extend(keys[:1])
+        raise SpaceExhausted("no room")
+
+
+class _PerKeyTable:
+    """Scalar-insert-only stub: no ``insert_batch``, no rollback."""
+
+    def __init__(self):
+        self.data = {}
+
+    def insert(self, key, value):
+        if key in self.data:
+            raise DuplicateKey(f"key {key!r} already inserted")
+        self.data[key] = value
+
+
+def test_insert_run_space_exhausted_answers_all_without_retry():
+    """SpaceExhausted on the merged call leaves a prefix applied, so the
+    server must not blind-retry per request (that would answer spurious
+    409s for committed keys) — every coalesced request gets the 507."""
+    async def scenario():
+        table = _PrefixExhaustingTable()
+        server = TableServer(table, ServeConfig())
+        run = [BatchOp("insert", ["a"], [1]), BatchOp("insert", ["b"], [2])]
+        results = server._run_inserts(run)
+        assert table.calls == 1  # exactly the merged attempt, no retry
+        assert all(isinstance(r, SpaceExhausted) for r in results)
+
+    asyncio.run(scenario())
+
+
+def test_insert_runs_never_coalesce_without_insert_batch():
+    """A table with only scalar ``insert`` has no all-or-nothing batch,
+    so requests must execute separately: the first request commits and
+    is answered as a success (a merged per-key attempt would apply its
+    key, fail on the duplicate, then blind-retry it into a spurious
+    409)."""
+    async def scenario():
+        table = _PerKeyTable()
+        server = TableServer(table, ServeConfig())
+        run = [
+            BatchOp("insert", ["a"], [1]),
+            BatchOp("insert", ["a", "b"], [2, 3]),
+        ]
+        results = server._run_inserts(run)
+        assert results[0] == 1
+        assert isinstance(results[1], DuplicateKey)
+        assert table.data == {"a": 1}
+
+    asyncio.run(scenario())
+
+
 def test_server_mixed_kind_batch_preserves_arrival_order():
     """A lookup submitted after an insert, coalesced into the same
     micro-batch, observes the insert."""
@@ -530,6 +613,67 @@ def test_server_graceful_stop_answers_inflight_then_rejects():
         with pytest.raises((ConnectionError, OSError, ProtocolError)):
             fresh = AsyncServeClient(port=port)
             await fresh.lookup([1])
+
+    asyncio.run(scenario())
+
+
+def test_server_rejects_chunked_request_and_closes():
+    """A chunked request gets a 501 and the connection is closed — the
+    chunk bytes must never be parsed as the next pipelined request."""
+    async def scenario(server, table):
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port)
+        writer.write(
+            b"POST /v1/lookup HTTP/1.1\r\n"
+            b"Host: h\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"\r\n"
+            b"c\r\n{\"keys\":[1]}\r\n0\r\n\r\n"
+        )
+        await writer.drain()
+        status, headers, body = await read_http_response(reader)
+        assert status == 501
+        assert headers["connection"] == "close"
+        assert json.loads(body)["error"] == "bad_request"
+        assert await reader.read() == b""  # server hung up
+        writer.close()
+
+    run_with_server(scenario)
+
+
+def test_async_client_timeout_drops_poisoned_connection():
+    """After a response timeout the keep-alive stream still owes the old
+    response; the client must reconnect rather than read it (or any
+    later bytes) as the next request's answer."""
+    async def scenario():
+        connections = []
+
+        async def handler(reader, writer):
+            connections.append(writer)
+            first = len(connections) == 1
+            while True:
+                request = await read_http_request(reader, 1 << 20)
+                if request is None:
+                    return
+                if first:
+                    continue  # never answer on the first connection
+                writer.write(render_http_response(200, b'{"values":[42]}'))
+                await writer.drain()
+
+        server = await asyncio.start_server(
+            handler, host="127.0.0.1", port=0)
+        port = server.sockets[0].getsockname()[1]
+        client = AsyncServeClient(port=port, timeout_s=0.1)
+        try:
+            with pytest.raises(asyncio.TimeoutError):
+                await client.lookup([1])
+            assert client._writer is None  # connection was dropped
+            assert await client.lookup([1]) == [42]
+            assert len(connections) == 2  # ...and a fresh one opened
+        finally:
+            await client.close()
+            server.close()
+            await server.wait_closed()
 
     asyncio.run(scenario())
 
