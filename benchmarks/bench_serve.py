@@ -60,8 +60,13 @@ WRITE_FRACTION = 0.1
 #: the 32-client default) — with a 40 ms p99 ceiling (measured ~24 ms);
 #: smoke mode (small table, short run, shared CI runners) only guards
 #: against order-of-magnitude regressions.
-FULL_GATES = {"min_kops": 50.0, "max_p99_s": 0.040}
-SMOKE_GATES = {"min_kops": 10.0, "max_p99_s": 0.25}
+#: The loop-lag ceiling is the runtime face of the R601 static rule: a
+#: batched drain that blocks the event loop shows up here long before it
+#: shows up in client p99.
+FULL_GATES = {"min_kops": 50.0, "max_p99_s": 0.040,
+              "max_loop_lag_p99_s": 0.050}
+SMOKE_GATES = {"min_kops": 10.0, "max_p99_s": 0.25,
+               "max_loop_lag_p99_s": 0.25}
 
 
 def make_table(n_keys: int) -> ShardedEmbedder:
@@ -160,12 +165,21 @@ async def run_leg(
         "batches_flushed": server._batcher.batches_flushed,
         "mean_batch_keys": round(
             counters["keys"] / max(server._batcher.batches_flushed, 1), 1),
+        # the LoopLagMonitor's histogram survives server.stop(): these are
+        # the sentinel's own counts, the truth the sidecar must agree with
+        "loop_lag_samples": server.loop_lag.samples,
+        "loop_lag_p99_ms": round(server.loop_lag.p99_s() * 1000, 3),
     }
     return stats, server.registry
 
 
-def check_sidecar(json_path: str, prom_path: str, requests: int) -> list:
-    """Validate the serve-metrics sidecars against client-side truth."""
+def check_sidecar(json_path: str, prom_path: str, requests: int,
+                  lag_samples: int = -1) -> list:
+    """Validate the serve-metrics sidecars against client-side truth.
+
+    ``lag_samples`` is the LoopLagMonitor's live count recorded by the
+    leg; the exported ``repro_serve_loop_lag_seconds`` histogram must
+    agree in both sidecar formats (pass ``-1`` to skip the check)."""
     problems = []
     try:
         with open(json_path) as handle:
@@ -192,6 +206,20 @@ def check_sidecar(json_path: str, prom_path: str, requests: int) -> list:
         )
     if samples.get("repro_serve_requests_total") != served:
         problems.append("prom/json request counts disagree")
+    if lag_samples >= 0:
+        lag = snapshot.get("histograms", {}).get(
+            "repro_serve_loop_lag_seconds")
+        if lag is None:
+            problems.append("loop-lag histogram missing from json sidecar")
+        elif lag["count"] != lag_samples:
+            problems.append(
+                f"loop-lag histogram count {lag['count']} but the monitor "
+                f"observed {lag_samples} sentinel wakeups")
+        prom_count = samples.get("repro_serve_loop_lag_seconds_count")
+        if prom_count != lag_samples:
+            problems.append(
+                f"prom loop-lag count {prom_count!r} but the monitor "
+                f"observed {lag_samples}")
     return problems
 
 
@@ -214,7 +242,8 @@ async def run_benchmark(args: argparse.Namespace) -> dict:
         print(f"{name:>10}: {legs[name]['kops']:8.1f} kops  "
               f"p50={legs[name]['latency_p50_ms']:6.2f}ms  "
               f"p99={legs[name]['latency_p99_ms']:6.2f}ms  "
-              f"mean_batch={legs[name]['mean_batch_keys']:.1f} keys")
+              f"mean_batch={legs[name]['mean_batch_keys']:.1f} keys  "
+              f"loop_lag_p99={legs[name]['loop_lag_p99_ms']:.2f}ms")
 
     if args.metrics_out:
         json_path, prom_path = write_sidecar(
@@ -286,6 +315,13 @@ def main(argv=None) -> int:
             failures.append(
                 f"p99 {batched['latency_p99_ms']:.2f} ms > allowed "
                 f"{gates['max_p99_s'] * 1000:.1f} ms")
+        if batched["loop_lag_samples"] == 0:
+            failures.append("loop-lag monitor recorded no samples")
+        elif batched["loop_lag_p99_ms"] / 1000 > gates["max_loop_lag_p99_s"]:
+            failures.append(
+                f"loop-lag p99 {batched['loop_lag_p99_ms']:.2f} ms > "
+                f"allowed {gates['max_loop_lag_p99_s'] * 1000:.1f} ms — "
+                "something blocked the event loop")
         if args.metrics_out:
             base, _ = os.path.splitext(args.metrics_out)
             if not args.metrics_out.endswith((".json", ".csv", ".txt",
@@ -293,7 +329,7 @@ def main(argv=None) -> int:
                 base = args.metrics_out
             failures.extend(check_sidecar(
                 base + ".metrics.json", base + ".metrics.prom",
-                batched["requests"]))
+                batched["requests"], batched["loop_lag_samples"]))
         if failures:
             for failure in failures:
                 print(f"FAIL batched leg: {failure}", file=sys.stderr)

@@ -35,7 +35,9 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Project-specific static analysis: value-table write "
             "encapsulation (R1), hot-path purity (R2), lock discipline "
-            "(R3), and general hygiene (R4). See docs/static_analysis.md."
+            "(R3), general hygiene (R4), interprocedural effects (R5), "
+            "asyncio discipline (R6), and array aliasing/dtype contracts "
+            "(R7). See docs/static_analysis.md."
         ),
     )
     parser.add_argument(
@@ -81,6 +83,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "also run the deterministic schedule explorer over the "
             "canned concurrency scenarios (exit 1 on failing schedules)"
+        ),
+    )
+    parser.add_argument(
+        "--async-rules", action="store_true",
+        help=(
+            "add an 'async_rules' report section with the R6xx analysis "
+            "coverage (async functions in scope, blocking sites seen, "
+            "task spawn sites); the rules themselves always run"
+        ),
+    )
+    parser.add_argument(
+        "--arrays", action="store_true",
+        help=(
+            "add an 'arrays' report section with the R7xx analysis "
+            "coverage (dtype contracts, storage reads, hotpath "
+            "functions); the rules themselves always run"
         ),
     )
     parser.add_argument(
@@ -252,6 +270,29 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sections: Dict[str, Any] = {}
     dynamic_failures = 0
+    if args.async_rules or args.arrays:
+        from repro.check.engine import iter_python_files, module_relpath
+
+        sources = {
+            module_relpath(path): path.read_text(encoding="utf-8")
+            for path in iter_python_files(paths, config)
+        }
+        if args.async_rules:
+            from repro.check import rules_async
+
+            section = rules_async.analysis_summary(sources, config)
+            section["violations"] = sum(
+                1 for v in violations if v.rule.startswith("R6")
+            )
+            sections["async_rules"] = section
+        if args.arrays:
+            from repro.check import rules_arrays
+
+            section = rules_arrays.analysis_summary(sources, config)
+            section["violations"] = sum(
+                1 for v in violations if v.rule.startswith("R7")
+            )
+            sections["arrays"] = section
     if args.races:
         races = _run_races()
         sections["races"] = races
@@ -271,6 +312,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         if violations:
             print(_render_text(violations))
+        if "async_rules" in sections:
+            async_section = sections["async_rules"]
+            print(
+                f"async: {async_section['async_functions']} async def(s) "
+                f"in scope {','.join(async_section['scope'])}, "
+                f"{async_section['blocking_sites']} blocking site(s) seen, "
+                f"{async_section['blocking_reachable_async']} reachable "
+                f"from async, {async_section['task_spawn_sites']} task "
+                f"spawn site(s), {async_section['violations']} R6xx "
+                "violation(s)"
+            )
+        if "arrays" in sections:
+            arrays_section = sections["arrays"]
+            print(
+                f"arrays: {arrays_section['files_scanned']} file(s), "
+                f"{arrays_section['dtype_contracts']} dtype contract(s) "
+                f"({arrays_section['dtype_literals_checked']} literal(s) "
+                f"checked), {arrays_section['storage_reads']} plane-"
+                f"storage read(s), {arrays_section['violations']} R7xx "
+                "violation(s)"
+            )
         if "races" in sections:
             races = sections["races"]
             print(

@@ -38,6 +38,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.check.engine import CheckConfig, CheckedFile
 
 __all__ = [
+    "BlockingSite",
     "WriteSite",
     "CallSite",
     "FunctionInfo",
@@ -103,6 +104,24 @@ class WriteSite:
 
 
 @dataclass
+class BlockingSite:
+    """One direct event-loop-blocking call inside a function body (R601).
+
+    ``time.sleep``, subprocess spawns, file/socket I/O, or an un-awaited
+    ``.acquire()``/``.wait()``/``.join()`` on a lock-/thread-shaped
+    receiver. Collected for *every* function so the effect can propagate
+    over the call graph; the R601 rule only judges ``async def``\\ s in
+    the serve scope."""
+
+    node: ast.AST
+    line: int
+    #: human-readable form for diagnostics (``time.sleep()``)
+    detail: str
+    #: the line carries a justified ``noqa[R601]`` — no effect contributed.
+    sanctioned: bool
+
+
+@dataclass
 class CallSite:
     """One resolvable call site inside a function body."""
 
@@ -131,10 +150,16 @@ class FunctionInfo:
     class_name: Optional[str]
     writes: List[WriteSite] = field(default_factory=list)
     calls: List[CallSite] = field(default_factory=list)
+    blocking: List[BlockingSite] = field(default_factory=list)
     #: fixed-point result: this function (transitively) writes cells
     writes_cells: bool = False
     #: where the writes bottom out, for diagnostics
     write_witness: str = ""
+    #: fixed-point result: this function (transitively) blocks the
+    #: calling thread — fatal inside an event-loop callback (R601)
+    blocks_loop: bool = False
+    #: where the blocking bottoms out, for diagnostics
+    blocking_witness: str = ""
 
     @property
     def rel(self) -> str:
@@ -155,6 +180,10 @@ class FunctionInfo:
     def effective_writes(self) -> List[WriteSite]:
         """The write sites that contribute effects (not sanctioned)."""
         return [site for site in self.writes if not site.sanctioned]
+
+    def effective_blocking(self) -> List[BlockingSite]:
+        """The blocking sites that contribute effects (not sanctioned)."""
+        return [site for site in self.blocking if not site.sanctioned]
 
 
 class ProjectModel:
@@ -184,6 +213,13 @@ def _site_sanctioned(checked: CheckedFile, line: int) -> bool:
             or checked.pragmas.suppresses("R501", line)
             or checked.pragmas.suppresses("R502", line)
             or checked.pragmas.suppresses("R503", line))
+
+
+def _blocking_sanctioned(checked: CheckedFile, line: int) -> bool:
+    # Same consuming logic as _site_sanctioned: a noqa[R601] on the
+    # blocking line blesses the whole pathway (the effect stops
+    # propagating to every async caller), so it counts as used.
+    return checked.pragmas.suppresses("R601", line)
 
 
 def _collect_functions(checked: CheckedFile) -> List[FunctionInfo]:
@@ -223,6 +259,8 @@ def _collect_class_bases(checked: CheckedFile) -> Dict[str, List[str]]:
 
 def _scan_body(info: FunctionInfo, config: CheckConfig) -> None:
     checked = info.checked
+    blocking_receiver = re.compile(config.blocking_receiver_pattern,
+                                   re.IGNORECASE)
     for node in ast.walk(info.node):
         targets: List[ast.expr] = []
         if isinstance(node, ast.Assign):
@@ -241,6 +279,12 @@ def _scan_body(info: FunctionInfo, config: CheckConfig) -> None:
             continue
         func = node.func
         if isinstance(func, ast.Name):
+            if config.is_blocking_callee(func.id):
+                info.blocking.append(BlockingSite(
+                    node=node, line=node.lineno, detail=f"{func.id}()",
+                    sanctioned=_blocking_sanctioned(checked, node.lineno),
+                ))
+                continue
             info.calls.append(CallSite(
                 node=node, line=node.lineno, kind="name",
                 name=func.id, callee=func.id,
@@ -249,6 +293,26 @@ def _scan_body(info: FunctionInfo, config: CheckConfig) -> None:
         if not isinstance(func, ast.Attribute):
             continue
         receiver = receiver_text(func.value)
+        dotted = f"{receiver}.{func.attr}" if receiver else None
+        if dotted is not None and config.is_blocking_callee(dotted):
+            info.blocking.append(BlockingSite(
+                node=node, line=node.lineno, detail=f"{dotted}()",
+                sanctioned=_blocking_sanctioned(checked, node.lineno),
+            ))
+            continue
+        if (receiver is not None
+                and func.attr in config.blocking_methods
+                and blocking_receiver.search(receiver.rsplit(".", 1)[-1])
+                and not isinstance(checked.parent(node), ast.Await)):
+            # threading-style .acquire()/.wait()/.join() on a lock- or
+            # thread-shaped receiver; the awaited form is the asyncio
+            # primitive and does not block.
+            info.blocking.append(BlockingSite(
+                node=node, line=node.lineno,
+                detail=f"{receiver}.{func.attr}()",
+                sanctioned=_blocking_sanctioned(checked, node.lineno),
+            ))
+            continue
         if (func.attr in config.storage_mutators
                 and receiver is not None and receiver != "self"
                 and is_table_receiver(receiver, config)):
@@ -353,6 +417,33 @@ def _propagate_writes(functions: Dict[str, FunctionInfo]) -> None:
                     break
 
 
+def _propagate_blocking(functions: Dict[str, FunctionInfo]) -> None:
+    for info in functions.values():
+        effective = info.effective_blocking()
+        if effective:
+            site = effective[0]
+            info.blocks_loop = True
+            info.blocking_witness = (
+                f"{site.detail} in {info.qualname} "
+                f"({info.rel}:{site.line})"
+            )
+    changed = True
+    while changed:
+        changed = False
+        for info in functions.values():
+            if info.blocks_loop:
+                continue
+            for site in info.calls:
+                blocker = next(
+                    (t for t in site.targets if t.blocks_loop), None
+                )
+                if blocker is not None:
+                    info.blocks_loop = True
+                    info.blocking_witness = blocker.blocking_witness
+                    changed = True
+                    break
+
+
 def build_project(
     checked_files: Sequence[CheckedFile], config: CheckConfig
 ) -> ProjectModel:
@@ -371,4 +462,5 @@ def build_project(
         _scan_body(info, config)
     _resolve_calls(functions, class_bases)
     _propagate_writes(functions)
+    _propagate_blocking(functions)
     return ProjectModel(files, functions, class_bases)

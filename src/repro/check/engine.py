@@ -119,6 +119,58 @@ class CheckConfig:
     partial_write_appliers: Tuple[str, ...] = (
         "UpdatePlan.apply", "assign_in_reverse", "assign_in_reverse_flat",
     )
+    #: modules whose ``async def``\ s are held to the R6xx asyncio
+    #: discipline (blocking-call reachability, sanctioned table access).
+    async_scope_prefixes: Tuple[str, ...] = ("repro/serve/",)
+    #: dotted call names that block the calling thread (R601). An entry
+    #: matches the exact callee or any deeper attribute under it
+    #: (``subprocess`` covers ``subprocess.run``).
+    blocking_calls: Tuple[str, ...] = (
+        "time.sleep", "subprocess", "os.system", "os.waitpid",
+        "socket.create_connection", "urllib.request.urlopen", "open",
+    )
+    #: method names that block when called un-awaited on a receiver whose
+    #: last segment matches :attr:`blocking_receiver_pattern` (R601) —
+    #: ``self._lock.acquire()`` blocks, ``await lock.acquire()`` is the
+    #: asyncio variant and is fine.
+    blocking_methods: Tuple[str, ...] = ("acquire", "wait", "join")
+    blocking_receiver_pattern: str = (
+        r"lock|mutex|sem|cond|barrier|event|thread|proc"
+    )
+    #: functions (``Class.method`` or bare name) sanctioned to touch the
+    #: table's data API from serve-scope modules (R604): the batch
+    #: executor chain that the micro-batcher runs inline on the event
+    #: loop. Everything else must go through the batcher.
+    serve_table_executors: Tuple[str, ...] = (
+        "TableServer._execute_batch",
+        "TableServer._run_lookups",
+        "TableServer._run_inserts",
+        "TableServer._insert_pairs",
+        "TableServer._run_scalar_writes",
+    )
+    #: the table's data-plane API (R604 judges method *calls*; attribute
+    #: reads like ``len(self.table)`` or ``table.metrics`` stay free).
+    table_data_api: Tuple[str, ...] = (
+        "lookup", "lookup_many", "lookup_batch", "insert", "insert_batch",
+        "insert_many", "update", "delete", "bulk_load", "reconstruct",
+        "from_pairs",
+    )
+    #: modules that own plane storage and may mutate views of it in place
+    #: (R701). Narrower than :attr:`value_table_writers`: update/engine/
+    #: sharded go through the table's mutation API, they do not alias its
+    #: planes.
+    plane_writer_modules: Tuple[str, ...] = (
+        "repro/core/value_table.py",
+        "repro/core/packed_table.py",
+        "repro/core/assistant_table.py",
+    )
+    #: methods that derive a *view* (aliasing memory) from an array —
+    #: taint propagates through these (R701/R703).
+    view_methods: Tuple[str, ...] = (
+        "reshape", "ravel", "view", "transpose", "swapaxes", "squeeze",
+    )
+    #: methods that materialise fresh memory — taint stops here.
+    copy_methods: Tuple[str, ...] = ("copy", "astype", "tolist")
 
     def is_assistant_receiver(self, text: str) -> bool:
         """True if a dotted receiver looks like an assistant-table handle."""
@@ -135,6 +187,24 @@ class CheckConfig:
             or any(prefix in rel
                    for prefix in self.value_table_writer_prefixes)
         )
+
+    def in_async_scope(self, rel: str) -> bool:
+        """True if ``rel`` is held to the R6xx asyncio discipline."""
+        return any(rel.startswith(prefix) or f"/{prefix}" in rel
+                   for prefix in self.async_scope_prefixes)
+
+    def owns_planes(self, rel: str) -> bool:
+        """True if ``rel`` may mutate plane-storage views in place (R701)."""
+        return (
+            any(rel.endswith(mod) for mod in self.plane_writer_modules)
+            or any(prefix in rel
+                   for prefix in self.value_table_writer_prefixes)
+        )
+
+    def is_blocking_callee(self, callee: str) -> bool:
+        """True if the dotted callee text names a blocking call (R601)."""
+        return any(callee == name or callee.startswith(name + ".")
+                   for name in self.blocking_calls)
 
 
 class CheckedFile:
@@ -182,16 +252,40 @@ class CheckedFile:
 
     # -- pragma helpers ------------------------------------------------
 
-    def is_hotpath(
+    def _def_pragma_lines(
         self, node: ast.FunctionDef | ast.AsyncFunctionDef
-    ) -> bool:
-        """True if the def carries a ``# repro: hotpath`` pragma."""
+    ) -> "set[int]":
+        """Lines where a def-scoped pragma may sit: the line above the
+        def (or its first decorator) plus every *signature* line — a
+        multi-line signature carries trailing pragmas on its closing
+        paren, not on the ``def`` line."""
         first_line = (
             node.decorator_list[0].lineno if node.decorator_list
             else node.lineno
         )
-        candidates = {node.lineno, first_line - 1}
-        return bool(candidates & self.pragmas.hotpath_lines)
+        body_start = node.body[0].lineno if node.body else node.lineno + 1
+        candidates = set(range(node.lineno, max(body_start,
+                                                node.lineno + 1)))
+        candidates.add(first_line - 1)
+        return candidates
+
+    def is_hotpath(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        """True if the def carries a ``# repro: hotpath`` pragma."""
+        return bool(
+            self._def_pragma_lines(node) & self.pragmas.hotpath_lines
+        )
+
+    def arrays_contract(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Optional[Tuple[str, ...]]:
+        """The ``# repro: arrays(...)`` dtype allowlist on a def, if any."""
+        for line in sorted(self._def_pragma_lines(node)):
+            contract = self.pragmas.arrays_lines.get(line)
+            if contract is not None:
+                return contract
+        return None
 
     def hotpath_functions(
         self,
@@ -248,6 +342,8 @@ def _load_rules() -> None:
     # Imported for their ``@register`` side effects; at the bottom so the
     # rule modules can import ``register`` from here.
     from repro.check import (  # noqa: F401  (registration side effect)
+        rules_arrays,
+        rules_async,
         rules_hotpath,
         rules_hygiene,
         rules_invariant,

@@ -1,11 +1,16 @@
-"""``# repro:`` pragma comments: hotpath markers and noqa suppressions.
+"""``# repro:`` pragma comments: hotpath/arrays markers, noqa suppressions.
 
-Two directives exist; anything else after ``# repro:`` is itself flagged
-(R002) so a typo cannot silently disable a rule:
+Three directives exist; anything else after ``# repro:`` is itself
+flagged (R002) so a typo cannot silently disable a rule:
 
-- ``# repro: hotpath`` — marks the *next* ``def`` (trailing on the def
-  line, or on its own line directly above the def / its first decorator)
-  as a hot-path function, enabling the R2xx purity rules on its body.
+- ``# repro: hotpath`` — marks the *next* ``def`` (trailing anywhere on
+  the def's signature lines, or on its own line directly above the def /
+  its first decorator) as a hot-path function, enabling the R2xx purity
+  rules (and the R703 view-escape rule) on its body.
+- ``# repro: arrays(uint64, int64)`` — a dtype contract for the *next*
+  ``def`` (same placement as ``hotpath``): every literal ``dtype=`` kwarg
+  (and literal ``.astype(...)`` argument) in the body must name one of
+  the listed dtypes (R702). At least one dtype is required.
 - ``# repro: noqa[R101] -- justification`` — suppresses the named rules
   on that line. The justification after ``--`` is mandatory: a bare noqa
   does not suppress anything and is reported as R001. Several rules may
@@ -33,6 +38,7 @@ _NOQA_RE = re.compile(
     r"^noqa\[(?P<codes>[A-Z0-9, ]+)\]\s*(?:--\s*(?P<why>.*))?$"
 )
 _HOTPATH_RE = re.compile(r"^hotpath\s*$")
+_ARRAYS_RE = re.compile(r"^arrays\((?P<names>[A-Za-z0-9_,\s]*)\)\s*$")
 
 
 @dataclass
@@ -58,6 +64,8 @@ class PragmaIndex:
     noqa: Dict[int, Suppression] = field(default_factory=dict)
     #: lines bearing a ``hotpath`` marker
     hotpath_lines: Set[int] = field(default_factory=set)
+    #: line -> dtype names declared by an ``arrays(...)`` contract
+    arrays_lines: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
     #: malformed/unknown pragmas, reported as violations directly
     problems: List[Violation] = field(default_factory=list)
 
@@ -98,6 +106,24 @@ def parse_pragmas(source: str, path: str) -> PragmaIndex:
         snippet = token.string.strip()
         if _HOTPATH_RE.match(body):
             index.hotpath_lines.add(line)
+            continue
+        arrays = _ARRAYS_RE.match(body)
+        if arrays is not None:
+            names = tuple(
+                name.strip() for name in arrays.group("names").split(",")
+                if name.strip()
+            )
+            if not names:
+                index.problems.append(Violation(
+                    rule="R002", path=path, line=line, col=col,
+                    message=(
+                        "arrays pragma needs at least one dtype: "
+                        "# repro: arrays(uint64, ...)"
+                    ),
+                    snippet=snippet,
+                ))
+                continue
+            index.arrays_lines[line] = names
             continue
         noqa = _NOQA_RE.match(body)
         if noqa is not None:

@@ -1,0 +1,386 @@
+"""R6xx — asyncio discipline for the serving layer.
+
+The serving front (PR 7) holds every guarantee on one premise: the event
+loop never stalls and every parked future is eventually resolved. Nothing
+checked that mechanically until now. Four rules, sharing the
+interprocedural model of :mod:`repro.check.dataflow`:
+
+- **R601** — no blocking call (``time.sleep``, file/socket I/O,
+  ``subprocess``, an un-awaited ``.acquire()``/``.wait()``/``.join()`` on
+  a lock-/thread-shaped receiver) reachable from any ``async def`` in the
+  serve scope. Reachability is transitive over the PR 4 call graph: an
+  async handler calling a sync helper that sleeps three calls down is
+  flagged at the handler's call site, with the witness naming where the
+  blocking bottoms out. A ``noqa[R601]`` on the blocking line sanctions
+  the whole pathway.
+- **R602** — orphan-task rule: every ``create_task``/``ensure_future``
+  result must be awaited, have ``.cancel()``/``add_done_callback``
+  reachable through the *same name* later in the file, or chain a
+  done-callback at the spawn site. An orphaned task dies silently with
+  its exception swallowed. The matching is name-based on purpose
+  (aliasing through a local defeats it — sanction such sites with a
+  justified ``noqa[R602]``, see ``serve/batcher.py``).
+- **R603** — parked futures must be resolved on every path: a function
+  that ``set_result()``\\ s futures but has no ``set_exception()`` edge
+  leaves awaiters parked forever when the computation in between raises;
+  likewise a ``set_result`` inside a ``try`` whose handler swallows the
+  exception without resolving or re-raising.
+- **R604** — table data access only from the sanctioned server-loop
+  executors (:attr:`CheckConfig.serve_table_executors`): the event loop
+  is the table's lock, and the batcher's handler chain is the only code
+  the loop serialises. A connection handler calling ``self.table.insert``
+  directly bypasses the batching *and* the ordering guarantees.
+
+docs/static_analysis.md carries the catalogue entries and examples; the
+dynamic counterpart is :class:`repro.obs.LoopLagMonitor`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.check.engine import (
+    CheckConfig,
+    CheckedFile,
+    register,
+    register_project,
+)
+from repro.check.dataflow import ProjectModel, receiver_text
+from repro.check.violations import Violation
+
+__all__ = ["analysis_summary"]
+
+_SPAWN_NAMES = ("create_task", "ensure_future")
+
+
+# ---------------------------------------------------------------------------
+# R601 — blocking calls reachable from serve-scope async defs
+# ---------------------------------------------------------------------------
+
+
+@register_project
+def rule_async_blocking(
+    model: ProjectModel, config: CheckConfig
+) -> Iterator[Violation]:
+    """R601: event-loop callbacks must never block the thread."""
+    for info in model.functions.values():
+        if not isinstance(info.node, ast.AsyncFunctionDef):
+            continue
+        if not config.in_async_scope(info.rel):
+            continue
+        direct = info.effective_blocking()
+        for site in direct:
+            yield Violation(
+                rule="R601", path=info.rel, line=site.line,
+                col=getattr(site.node, "col_offset", 0) + 1,
+                message=(
+                    f"async def {info.qualname} blocks the event loop: "
+                    f"{site.detail} stalls every queued request — use the "
+                    "asyncio equivalent or move it off-loop"
+                ),
+                snippet=info.checked.snippet(site.line),
+            )
+        if direct:
+            continue
+        for call in info.calls:
+            blocker = next(
+                (t for t in call.targets if t.blocks_loop), None
+            )
+            if blocker is None:
+                continue
+            yield Violation(
+                rule="R601", path=info.rel, line=call.line,
+                col=getattr(call.node, "col_offset", 0) + 1,
+                message=(
+                    f"async def {info.qualname} reaches a blocking call "
+                    f"through {call.callee}(): {blocker.blocking_witness}"
+                ),
+                snippet=info.checked.snippet(call.line),
+            )
+
+
+# ---------------------------------------------------------------------------
+# R602 — orphaned create_task/ensure_future results
+# ---------------------------------------------------------------------------
+
+
+def _is_spawn(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _SPAWN_NAMES
+    return isinstance(func, ast.Attribute) and func.attr in _SPAWN_NAMES
+
+
+def _consumed_names(tree: ast.Module) -> Set[str]:
+    """Names through which a stored task is later awaited, cancelled, or
+    given a done-callback anywhere in the file (name-based, by design)."""
+    consumed: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Await):
+            value = node.value
+            if isinstance(value, ast.Name):
+                consumed.add(value.id)
+            elif isinstance(value, ast.Attribute):
+                consumed.add(value.attr)
+        elif (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("cancel", "add_done_callback")):
+            value = node.func.value
+            if isinstance(value, ast.Name):
+                consumed.add(value.id)
+            elif isinstance(value, ast.Attribute):
+                consumed.add(value.attr)
+    return consumed
+
+
+def _target_name(target: ast.expr) -> Optional[str]:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+@register
+def rule_orphan_tasks(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R602: a spawned task must have an owner for its lifetime."""
+    consumed = _consumed_names(checked.tree)
+    for node in ast.walk(checked.tree):
+        if not isinstance(node, ast.Call) or not _is_spawn(node):
+            continue
+        parent = checked.parent(node)
+        if isinstance(parent, ast.Await):
+            continue
+        if (isinstance(parent, ast.Attribute)
+                and parent.attr == "add_done_callback"):
+            continue  # loop.create_task(...).add_done_callback(cb)
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (parent.targets
+                       if isinstance(parent, ast.Assign)
+                       else [parent.target])
+            names = [_target_name(t) for t in targets]
+            if any(name is not None and name in consumed
+                   for name in names):
+                continue
+        spawn = (node.func.attr if isinstance(node.func, ast.Attribute)
+                 else getattr(node.func, "id", "create_task"))
+        yield checked.violation(
+            "R602", node,
+            f"{spawn}() result is never awaited, cancelled, or given a "
+            "done-callback — the task is orphaned and its exception is "
+            "swallowed silently",
+        )
+
+
+# ---------------------------------------------------------------------------
+# R603 — futures resolved on every path
+# ---------------------------------------------------------------------------
+
+
+def _future_calls(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, method: str
+) -> List[ast.Call]:
+    return [
+        node for node in ast.walk(func)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == method
+    ]
+
+
+def _has_other_call(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    """Any call that is not itself future bookkeeping (it may raise)."""
+    future_methods = ("set_result", "set_exception", "done", "cancelled",
+                      "add_done_callback")
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in future_methods):
+            continue
+        return True
+    return False
+
+
+def _swallowing_handlers(
+    checked: CheckedFile, call: ast.Call
+) -> Iterator[ast.ExceptHandler]:
+    """Handlers of ``try`` blocks enclosing ``call`` (in the try *body*)
+    that neither re-raise nor resolve futures — the exception edge parks
+    the awaiters forever."""
+    for ancestor in checked.ancestors(call):
+        if not isinstance(ancestor, ast.Try):
+            continue
+        in_body = any(
+            call is node or any(call is sub for sub in ast.walk(node))
+            for node in ancestor.body
+        )
+        if not in_body:
+            continue
+        for handler in ancestor.handlers:
+            resolves = any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "set_exception"
+                for node in ast.walk(handler)
+            )
+            reraises = any(
+                isinstance(node, ast.Raise)
+                for node in ast.walk(handler)
+            )
+            if not resolves and not reraises:
+                yield handler
+
+
+@register
+def rule_future_resolution(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R603: a resolver owns both edges — success *and* exception."""
+    for func in ast.walk(checked.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        parent = checked.parent(func)
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested defs are judged with their enclosing function
+        resolutions = _future_calls(func, "set_result")
+        if not resolutions:
+            continue
+        exception_edges = _future_calls(func, "set_exception")
+        if not exception_edges and _has_other_call(func):
+            yield checked.violation(
+                "R603", resolutions[0],
+                f"{func.name} resolves futures with set_result() but has "
+                "no set_exception() path — a raise before resolution "
+                "leaves every awaiter parked forever",
+            )
+            continue
+        seen: Set[int] = set()
+        for call in resolutions:
+            for handler in _swallowing_handlers(checked, call):
+                if handler.lineno in seen:
+                    continue
+                seen.add(handler.lineno)
+                yield checked.violation(
+                    "R603", handler,
+                    f"this handler swallows the exception while {func.name} "
+                    "still holds unresolved futures — set_exception() them "
+                    "or re-raise",
+                )
+
+
+# ---------------------------------------------------------------------------
+# R604 — table access only from sanctioned server-loop executors
+# ---------------------------------------------------------------------------
+
+
+def _enclosing_qualnames(
+    checked: CheckedFile, node: ast.AST
+) -> Iterator[str]:
+    for ancestor in checked.ancestors(node):
+        if not isinstance(ancestor,
+                          (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        classes = checked.enclosing_classes(ancestor)
+        if classes:
+            yield f"{classes[0]}.{ancestor.name}"
+        yield ancestor.name
+
+
+def _is_table_handle(receiver: str) -> bool:
+    last = receiver.rsplit(".", 1)[-1]
+    return last == "table" or last.endswith("_table")
+
+
+@register
+def rule_serve_table_access(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R604: only the batch-executor chain touches the table."""
+    if not config.in_async_scope(checked.rel):
+        return
+    sanctioned = set(config.serve_table_executors)
+    for node in ast.walk(checked.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in config.table_data_api:
+            continue
+        receiver = receiver_text(func.value)
+        if receiver is None or not _is_table_handle(receiver):
+            continue
+        if any(name in sanctioned
+               for name in _enclosing_qualnames(checked, node)):
+            continue
+        yield checked.violation(
+            "R604", node,
+            f"{receiver}.{func.attr}() outside the sanctioned server-loop "
+            "executors — route the operation through the micro-batcher "
+            "(the event loop serialises table access there)",
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI section (--async-rules)
+# ---------------------------------------------------------------------------
+
+
+def analysis_summary(
+    sources: Dict[str, str], config: Optional[CheckConfig] = None
+) -> Dict[str, Any]:
+    """Aggregate async-analysis statistics for the ``--async-rules`` JSON
+    section: how much surface the R6xx rules actually saw. Violations
+    themselves flow through the normal engine/baseline pipeline."""
+    from repro.check.dataflow import build_project
+    from repro.check.engine import CheckedFile as _CheckedFile
+    from repro.check.pragmas import parse_pragmas
+
+    if config is None:
+        config = CheckConfig()
+    files: List[CheckedFile] = []
+    spawn_sites = 0
+    resolver_functions = 0
+    for rel in sorted(sources):
+        try:
+            tree = ast.parse(sources[rel])
+        except SyntaxError:
+            continue
+        checked = _CheckedFile(rel, sources[rel],
+                               tree, parse_pragmas(sources[rel], rel))
+        files.append(checked)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and _is_spawn(node):
+                spawn_sites += 1
+        for node in ast.walk(tree):
+            if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and _future_calls(node, "set_result")):
+                resolver_functions += 1
+    model = build_project(files, config)
+    in_scope = [
+        info for info in model.functions.values()
+        if config.in_async_scope(info.rel)
+    ]
+    async_defs = [
+        info for info in in_scope
+        if isinstance(info.node, ast.AsyncFunctionDef)
+    ]
+    return {
+        "scope": list(config.async_scope_prefixes),
+        "async_functions": len(async_defs),
+        "functions_in_scope": len(in_scope),
+        "blocking_sites": sum(
+            len(info.blocking) for info in model.functions.values()
+        ),
+        "blocking_reachable_async": sum(
+            1 for info in async_defs if info.blocks_loop
+        ),
+        "task_spawn_sites": spawn_sites,
+        "future_resolver_functions": resolver_functions,
+    }

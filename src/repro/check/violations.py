@@ -44,6 +44,21 @@ RULE_CATALOGUE: Dict[str, str] = {
             "sanctioned write-path modules (use the public mutation API)",
     "R503": "per-cell table write inside a loop outside a sanctioned "
             "all-or-nothing applier (partial application hazard)",
+    "R601": "blocking call (time.sleep, file/socket I/O, subprocess, "
+            "lock .acquire()) reachable from an async def in the serve "
+            "scope — it stalls every request on the event loop",
+    "R602": "orphan asyncio task: create_task/ensure_future result "
+            "neither awaited, cancelled, nor given a done-callback",
+    "R603": "parked Future not resolved on every path: set_result() "
+            "without a set_exception() exception edge",
+    "R604": "table data access outside the sanctioned server-loop "
+            "executor functions (the event loop is the table's lock)",
+    "R701": "in-place mutation of an array derived as a view of "
+            "value-table plane storage outside the plane-owner modules",
+    "R702": "literal dtype disagrees with the function's "
+            "'# repro: arrays(...)' dtype contract",
+    "R703": "hotpath function lets a view of plane storage escape "
+            "without an explicit .copy()",
 }
 
 

@@ -491,7 +491,7 @@ def peel_rounds_masked(
     flat_mat: npt.NDArray[np.int64],
     num_cells: int,
     base_counts: npt.NDArray[np.int64],
-    hooks: object = None,
+    hooks: object = None,  # repro: arrays(int64, bool)
 ) -> Tuple[Rounds, npt.NDArray[np.bool_]]:  # repro: hotpath
     """Round-synchronous peel of a batch over a *live* table.
 

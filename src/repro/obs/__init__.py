@@ -41,6 +41,10 @@ from repro.obs.hooks import (
     default_metrics_enabled,
     enable_default_metrics,
 )
+from repro.obs.looplag import (
+    LOOP_LAG_SECONDS_BUCKETS,
+    LoopLagMonitor,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -82,6 +86,8 @@ __all__ = [
     "WalkTrace",
     "WalkTraceRecorder",
     "CompositeHooks",
+    "LOOP_LAG_SECONDS_BUCKETS",
+    "LoopLagMonitor",
     "default_metrics",
     "default_metrics_enabled",
     "enable_default_metrics",

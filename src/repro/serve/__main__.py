@@ -59,6 +59,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default 8192)")
     parser.add_argument("--no-batching", action="store_true",
                         help="serve every request as its own table call")
+    parser.add_argument("--loop-lag-ms", type=float, default=5.0,
+                        help="event-loop lag sampling interval in ms, "
+                             "0 disables the monitor (default 5.0)")
     return parser
 
 
@@ -98,7 +101,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     config = ServeConfig(
         host=args.host, port=args.port,
         batch_window_ms=args.window_ms, max_batch=args.max_batch,
-        max_queue=args.max_queue,
+        max_queue=args.max_queue, loop_lag_interval_ms=args.loop_lag_ms,
     )
     if args.no_batching:
         config = config.unbatched()

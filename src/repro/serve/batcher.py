@@ -169,7 +169,9 @@ class MicroBatcher:
 
     def _ensure_running(self) -> None:
         if self._task is None or self._task.done():
-            self._task = asyncio.get_running_loop().create_task(
+            # The task's lifetime IS owned: close() awaits or cancels it
+            # through a local alias, which name-based R602 cannot see.
+            self._task = asyncio.get_running_loop().create_task(  # repro: noqa[R602] -- close() awaits/cancels self._task via a local alias; exceptions surface through the drained futures
                 self._run(), name="repro-serve-batcher"
             )
 

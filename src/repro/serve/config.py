@@ -46,6 +46,14 @@ class ServeConfig:
     max_body_bytes:
         Largest accepted request body (HTTP 413 beyond it) — a bound on
         per-request memory, not on batch size.
+    loop_lag_interval_ms:
+        Sampling period of the :class:`repro.obs.LoopLagMonitor` the
+        server installs (the ``repro_serve_loop_lag_seconds`` histogram).
+        It is also the sensitivity floor — stalls shorter than the
+        interval may fall between sentinels — so keep it at or below
+        ``batch_window_ms`` plus the expected batch execution time.
+        ``0`` disables the monitor entirely (the histogram still
+        registers, empty, so exports keep a stable schema).
     """
 
     host: str = "127.0.0.1"
@@ -55,6 +63,7 @@ class ServeConfig:
     max_queue: int = 8192
     drain_timeout_s: float = 5.0
     max_body_bytes: int = 8 * 1024 * 1024
+    loop_lag_interval_ms: float = 5.0
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -69,6 +78,8 @@ class ServeConfig:
             raise ValueError("drain_timeout_s must be >= 0")
         if self.max_body_bytes < 1:
             raise ValueError("max_body_bytes must be >= 1")
+        if self.loop_lag_interval_ms < 0:
+            raise ValueError("loop_lag_interval_ms must be >= 0")
 
     def unbatched(self) -> "ServeConfig":
         """This config with micro-batching off: zero window and

@@ -93,7 +93,7 @@ class ServeError(ReproError):
 class ProtocolError(ServeError):
     """The peer sent something that is not valid protocol traffic."""
 
-    def __init__(self, message: str, status: int = 400):
+    def __init__(self, message: str, status: int = 400) -> None:
         super().__init__(message, status=status, code="bad_request")
 
 

@@ -43,10 +43,11 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import ReproError, SpaceExhausted
 from repro.obs.exporters import json_snapshot, prometheus_text
+from repro.obs.looplag import LoopLagMonitor
 from repro.obs.registry import (
     BATCH_SIZE_BUCKETS,
     LATENCY_SECONDS_BUCKETS,
@@ -104,7 +105,9 @@ class TableServer:
         # insert_batch, when the table has one, is the licence to merge
         # requests: its validation rejects all-or-nothing (see
         # _run_inserts). Absent it, inserts run per request only.
-        self._batch_inserter = getattr(table, "insert_batch", None)
+        self._batch_inserter: Optional[Callable[..., Any]] = getattr(
+            table, "insert_batch", None
+        )
         self.config = config if config is not None else ServeConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         self._batcher = MicroBatcher(
@@ -151,6 +154,16 @@ class TableServer:
                 f"/v1/{kind} request latency", "seconds")
             for kind in ("lookup", "insert", "update", "delete")
         }
+        # The dynamic counterpart of the R6xx static rules: a sentinel
+        # timer whose measured lateness is everything that blocked the
+        # loop. Constructed eagerly so the histogram registers (and the
+        # export schema stays stable) even when the config disables
+        # sampling with loop_lag_interval_ms=0.
+        lag_ms = self.config.loop_lag_interval_ms
+        self._lag_enabled = lag_ms > 0
+        self.loop_lag = LoopLagMonitor(
+            reg, interval_s=(lag_ms if lag_ms > 0 else 5.0) / 1000.0
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -175,6 +188,8 @@ class TableServer:
         self._server = await asyncio.start_server(
             self._on_connection, host=self.config.host, port=self.config.port
         )
+        if self._lag_enabled:
+            self.loop_lag.start()
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain, answer, disconnect.
@@ -207,6 +222,9 @@ class TableServer:
             writer.close()
         self._conn_tasks.clear()
         self._writers.clear()
+        # Last: the drain above is exactly the kind of window the lag
+        # monitor exists to observe.
+        await self.loop_lag.stop()
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -458,11 +476,18 @@ class TableServer:
                 "p50_s": self._latency.quantile(0.50),
                 "p99_s": self._latency.quantile(0.99),
             }
+        loop_lag: Dict[str, float] = {}
+        if self.loop_lag.samples:
+            loop_lag = {
+                "samples": float(self.loop_lag.samples),
+                "p99_s": self.loop_lag.p99_s(),
+            }
         snapshot["serve"] = {
             **self._health_payload(),
             "batches_flushed": self._batcher.batches_flushed,
             "ops_shed": self._batcher.ops_shed,
             "latency": latency,
+            "loop_lag": loop_lag,
         }
         return snapshot
 

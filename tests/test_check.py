@@ -808,3 +808,655 @@ class TestR503PartialLoopWrites:
             rel="repro/other/module.py",
         )
         assert rules_of(found) == ["R101"]
+
+
+# ---------------------------------------------------------------------------
+# R601 — blocking calls reachable from serve-scope async defs
+# ---------------------------------------------------------------------------
+
+SERVE = "repro/serve/handlers.py"
+
+
+class TestR601AsyncBlocking:
+    def test_direct_sleep_in_async_handler_flagged(self):
+        found = run(
+            """
+            import time
+
+
+            async def handle(request):
+                time.sleep(0.01)
+            """,
+            rel=SERVE,
+        )
+        assert rules_of(found) == ["R601"]
+        assert "time.sleep" in found[0].message
+
+    def test_transitive_blocking_flagged_at_call_site(self):
+        found = run(
+            """
+            import time
+
+
+            def backoff():
+                time.sleep(0.01)
+
+
+            async def handle(request):
+                backoff()
+            """,
+            rel=SERVE,
+        )
+        assert rules_of(found) == ["R601"]
+        assert "backoff" in found[0].message
+        # flagged at the handler's call site, not inside the helper
+        assert found[0].snippet == "backoff()"
+
+    def test_open_call_in_async_handler_flagged(self):
+        found = run(
+            """
+            async def dump(path):
+                with open(path) as fh:
+                    return fh.read()
+            """,
+            rel=SERVE,
+        )
+        assert rules_of(found) == ["R601"]
+
+    def test_unawaited_lock_acquire_flagged(self):
+        found = run(
+            """
+            async def guard(self):
+                self._lock.acquire()
+            """,
+            rel=SERVE,
+        )
+        assert rules_of(found) == ["R601"]
+
+    def test_awaited_acquire_is_asyncio_and_clean(self):
+        found = run(
+            """
+            async def guard(self):
+                await self._lock.acquire()
+            """,
+            rel=SERVE,
+        )
+        assert found == []
+
+    def test_asyncio_sleep_clean(self):
+        found = run(
+            """
+            import asyncio
+
+
+            async def pace(self):
+                await asyncio.sleep(0.01)
+            """,
+            rel=SERVE,
+        )
+        assert found == []
+
+    def test_outside_serve_scope_not_judged(self):
+        found = run(
+            """
+            import time
+
+
+            async def handle(request):
+                time.sleep(0.01)
+            """,
+            rel="repro/other/module.py",
+        )
+        assert found == []
+
+    def test_sanctioned_blocking_site_does_not_propagate(self):
+        found = run(
+            """
+            import time
+
+
+            def backoff():
+                time.sleep(0.01)  # repro: noqa[R601] -- startup only, loop not serving yet
+
+
+            async def handle(request):
+                backoff()
+            """,
+            rel=SERVE,
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# R602 — orphaned create_task/ensure_future results
+# ---------------------------------------------------------------------------
+
+
+class TestR602OrphanTasks:
+    def test_bare_spawn_flagged(self):
+        found = run(
+            """
+            import asyncio
+
+
+            async def kick(worker):
+                asyncio.create_task(worker())
+            """
+        )
+        assert rules_of(found) == ["R602"]
+
+    def test_assigned_but_never_consumed_flagged(self):
+        found = run(
+            """
+            import asyncio
+
+
+            async def kick(worker):
+                task = asyncio.create_task(worker())
+                return True
+            """
+        )
+        assert rules_of(found) == ["R602"]
+
+    def test_awaited_spawn_clean(self):
+        found = run(
+            """
+            import asyncio
+
+
+            async def kick(worker):
+                await asyncio.create_task(worker())
+            """
+        )
+        assert found == []
+
+    def test_assigned_then_awaited_clean(self):
+        found = run(
+            """
+            import asyncio
+
+
+            async def kick(worker):
+                task = asyncio.create_task(worker())
+                await task
+            """
+        )
+        assert found == []
+
+    def test_stored_attribute_cancelled_elsewhere_clean(self):
+        found = run(
+            """
+            import asyncio
+
+
+            class Runner:
+                def start(self, worker):
+                    self._task = asyncio.create_task(worker())
+
+                def stop(self):
+                    self._task.cancel()
+            """
+        )
+        assert found == []
+
+    def test_done_callback_chained_at_spawn_clean(self):
+        found = run(
+            """
+            import asyncio
+
+
+            async def kick(worker, on_done):
+                asyncio.create_task(worker()).add_done_callback(on_done)
+            """
+        )
+        assert found == []
+
+    def test_ensure_future_also_judged(self):
+        found = run(
+            """
+            import asyncio
+
+
+            async def kick(coro):
+                asyncio.ensure_future(coro)
+            """
+        )
+        assert rules_of(found) == ["R602"]
+
+    def test_justified_noqa_sanctions_aliased_ownership(self):
+        found = run(
+            """
+            import asyncio
+
+
+            class Runner:
+                def start(self, worker):
+                    self._task = asyncio.create_task(worker())  # repro: noqa[R602] -- close() cancels via a local alias
+
+                def stop(self):
+                    alias = self._no_such_attr
+            """
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# R603 — futures resolved on every path
+# ---------------------------------------------------------------------------
+
+
+class TestR603FutureResolution:
+    def test_set_result_without_exception_edge_flagged(self):
+        found = run(
+            """
+            def resolve(futures, results):
+                for fut, result in zip(futures, results):
+                    fut.set_result(result)
+            """
+        )
+        assert rules_of(found) == ["R603"]
+        assert "set_exception" in found[0].message
+
+    def test_both_edges_clean(self):
+        found = run(
+            """
+            def resolve(futures, compute):
+                try:
+                    value = compute()
+                except Exception as exc:
+                    for fut in futures:
+                        fut.set_exception(exc)
+                    return
+                for fut in futures:
+                    fut.set_result(value)
+            """
+        )
+        assert found == []
+
+    def test_swallowing_handler_around_set_result_flagged(self):
+        found = run(
+            """
+            def drain(futures, compute):
+                try:
+                    for fut in futures:
+                        fut.set_result(compute())
+                except Exception:
+                    cleanup()
+                for fut in futures:
+                    fut.set_exception(RuntimeError("leftover"))
+            """
+        )
+        assert rules_of(found) == ["R603"]
+        assert "swallows" in found[0].message
+
+    def test_reraising_handler_clean(self):
+        found = run(
+            """
+            def drain(futures, compute):
+                try:
+                    for fut in futures:
+                        fut.set_result(compute())
+                except Exception:
+                    raise
+                for fut in futures:
+                    fut.set_exception(RuntimeError("leftover"))
+            """
+        )
+        assert found == []
+
+    def test_pure_bookkeeping_needs_no_exception_edge(self):
+        # Nothing between the set_result calls can raise: no other edge.
+        found = run(
+            """
+            def settle(fut):
+                fut.set_result(None)
+            """
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# R604 — table access outside the sanctioned server-loop executors
+# ---------------------------------------------------------------------------
+
+
+class TestR604ServeTableAccess:
+    def test_handler_touching_table_flagged(self):
+        found = run(
+            """
+            class Helper:
+                async def peek(self, key):
+                    return self.table.lookup(key)
+            """,
+            rel=SERVE,
+        )
+        assert rules_of(found) == ["R604"]
+
+    def test_sanctioned_executor_clean(self):
+        found = run(
+            """
+            class TableServer:
+                def _run_lookups(self, merged):
+                    return self.table.lookup_many(merged)
+            """,
+            rel=SERVE,
+        )
+        assert found == []
+
+    def test_reads_of_table_metadata_allowed(self):
+        found = run(
+            """
+            class Helper:
+                def health(self):
+                    return {"keys": len(self.table)}
+            """,
+            rel=SERVE,
+        )
+        assert found == []
+
+    def test_outside_serve_scope_not_judged(self):
+        found = run(
+            """
+            class Helper:
+                def peek(self, key):
+                    return self.table.lookup(key)
+            """,
+            rel="repro/apps/tool.py",
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# R701 — in-place mutation of plane-storage views
+# ---------------------------------------------------------------------------
+
+
+class TestR701ViewMutation:
+    def test_augassign_through_view_flagged(self):
+        found = run(
+            """
+            def leak(table):
+                view = table._cells.reshape(-1)
+                view += 1
+            """
+        )
+        assert rules_of(found) == ["R701"]
+
+    def test_slice_assign_into_view_flagged(self):
+        found = run(
+            """
+            def leak(table):
+                flat = table._cells.ravel()
+                flat[0:4] = 0
+            """
+        )
+        assert rules_of(found) == ["R701"]
+
+    def test_ufunc_at_scatter_flagged(self):
+        found = run(
+            """
+            import numpy as np
+
+
+            def scatter(table, idx):
+                flat = table._cells.ravel()
+                np.bitwise_xor.at(flat, idx, 1)
+            """
+        )
+        assert rules_of(found) == ["R701"]
+
+    def test_copy_breaks_the_taint(self):
+        found = run(
+            """
+            def snapshot(table):
+                snap = table._cells.reshape(-1).copy()
+                snap += 1
+                return snap
+            """
+        )
+        assert found == []
+
+    def test_alias_chain_tracked(self):
+        found = run(
+            """
+            def leak(table):
+                view = table._cells.ravel()
+                alias = view
+                alias += 1
+            """
+        )
+        assert rules_of(found) == ["R701"]
+
+    def test_plane_owner_module_exempt(self):
+        found = run(
+            """
+            def compact(self):
+                flat = self._cells.ravel()
+                flat[self._holes] = 0
+            """,
+            rel="repro/core/value_table.py",
+        )
+        assert found == []
+
+    def test_unrelated_array_mutation_clean(self):
+        found = run(
+            """
+            def accumulate(chunks):
+                total = chunks.sum(axis=0)
+                total += 1
+                return total
+            """
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# R702 — dtype contracts via # repro: arrays(...)
+# ---------------------------------------------------------------------------
+
+
+class TestR702DtypeContract:
+    def test_off_contract_dtype_flagged(self):
+        found = run(
+            """
+            import numpy as np
+
+
+            def fill(n):  # repro: arrays(int64)
+                out = np.zeros(n, dtype=np.int64)
+                bad = np.zeros(n, dtype=np.uint8)
+                return out, bad
+            """
+        )
+        assert rules_of(found) == ["R702"]
+        assert "uint8" in found[0].message
+
+    def test_conforming_literals_clean(self):
+        found = run(
+            """
+            import numpy as np
+
+
+            def fill(n):  # repro: arrays(int64, bool)
+                out = np.zeros(n, dtype=np.int64)
+                mask = np.zeros(n, dtype=bool)
+                return out, mask
+            """
+        )
+        assert found == []
+
+    def test_astype_literal_checked(self):
+        found = run(
+            """
+            import numpy as np
+
+
+            def narrow(arr):  # repro: arrays(int64)
+                return arr.astype(np.float32)
+            """
+        )
+        assert rules_of(found) == ["R702"]
+
+    def test_no_contract_no_checking(self):
+        found = run(
+            """
+            import numpy as np
+
+
+            def fill(n):
+                return np.zeros(n, dtype=np.float32)
+            """
+        )
+        assert found == []
+
+    def test_empty_contract_is_r002(self):
+        found = run(
+            """
+            def fill(n):  # repro: arrays()
+                return n
+            """
+        )
+        assert rules_of(found) == ["R002"]
+
+
+# ---------------------------------------------------------------------------
+# R703 — plane views escaping hotpath functions
+# ---------------------------------------------------------------------------
+
+
+class TestR703ViewEscape:
+    def test_hotpath_returning_view_flagged(self):
+        found = run(
+            """
+            def expose(table):  # repro: hotpath
+                flat = table._cells.ravel()
+                return flat
+            """
+        )
+        assert rules_of(found) == ["R703"]
+
+    def test_hotpath_returning_copy_clean(self):
+        found = run(
+            """
+            def expose(table):  # repro: hotpath
+                flat = table._cells.ravel()
+                return flat.copy()
+            """
+        )
+        assert found == []
+
+    def test_non_hotpath_escape_not_judged(self):
+        found = run(
+            """
+            def expose(table):
+                return table._cells.ravel()
+            """
+        )
+        assert found == []
+
+    def test_plane_owner_hotpath_still_judged(self):
+        # R703 guards the caller, so even storage owners must copy.
+        found = run(
+            """
+            def planes(self):  # repro: hotpath
+                return self._cells.view()
+            """,
+            rel="repro/core/value_table.py",
+        )
+        assert rules_of(found) == ["R703"]
+
+
+# ---------------------------------------------------------------------------
+# Seeded-bug acceptance: each caught by exactly the intended rule
+# ---------------------------------------------------------------------------
+
+
+class TestSeededBugs:
+    def test_sleeping_handler_caught_by_exactly_r601(self):
+        found = run(
+            """
+            import time
+
+
+            async def handle_lookup(self, request):
+                time.sleep(0.002)
+                return await self._batcher.submit(request)
+            """,
+            rel=SERVE,
+        )
+        assert rules_of(found) == ["R601"]
+
+    def test_uncopied_view_mutation_caught_by_exactly_r701(self):
+        found = run(
+            """
+            def rebalance(table, idx):
+                plane = table._cells.reshape(-1)
+                plane[idx] += 1
+            """
+        )
+        assert rules_of(found) == ["R701"]
+
+
+# ---------------------------------------------------------------------------
+# R6xx/R7xx plumbing: baseline ratchet and CLI sections
+# ---------------------------------------------------------------------------
+
+
+class TestNewRulePlumbing:
+    def r601_violations(self):
+        return check_source(
+            "import time\n\n\nasync def handle(request):\n"
+            "    time.sleep(0.01)\n",
+            SERVE,
+        )
+
+    def test_r6xx_baseline_round_trip(self, tmp_path):
+        found = self.r601_violations()
+        assert rules_of(found) == ["R601"]
+        path = tmp_path / "baseline.json"
+        assert write_baseline(path, found) == 1
+        surviving, matched, stale = load_baseline(path).apply(found)
+        assert surviving == [] and len(matched) == 1 and stale == []
+
+    def test_new_rules_in_catalogue_listing(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("R601", "R602", "R603", "R604",
+                     "R701", "R702", "R703"):
+            assert rule in out
+
+    def test_json_sections_present(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "serve"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text(
+            "import asyncio\n\n\nasync def ok():\n"
+            "    await asyncio.sleep(0)\n"
+        )
+        assert main([
+            str(tmp_path / "src"), "--format", "json", "--no-baseline",
+            "--async-rules", "--arrays",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        async_section = payload["async_rules"]
+        assert async_section["async_functions"] == 1
+        assert async_section["violations"] == 0
+        arrays_section = payload["arrays"]
+        assert arrays_section["files_scanned"] == 1
+        assert arrays_section["violations"] == 0
+
+    def test_text_sections_render(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "other"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text("x = 1\n")
+        assert main([
+            str(tmp_path / "src"), "--no-baseline",
+            "--async-rules", "--arrays",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "async:" in out and "arrays:" in out
+
+    def test_repo_tree_clean_under_full_analysis(self):
+        # The PR 8 acceptance command: new rule families, no baseline.
+        assert main([
+            "src", "--no-baseline", "--async-rules", "--arrays",
+        ]) == 0

@@ -716,3 +716,95 @@ def test_serve_module_exports_match_api_doc():
 
     for name in serve.__all__:
         assert getattr(serve, name) is not None
+
+
+# ---------------------------------------------------------------------------
+# Loop-lag monitoring: the runtime counterpart of the R6xx static rules
+# ---------------------------------------------------------------------------
+
+
+def test_loop_lag_monitor_samples_and_detects_stalls():
+    """The sentinel sees a deliberate blocking sleep as one large sample."""
+    import time
+
+    from repro.obs import LoopLagMonitor
+
+    async def scenario():
+        registry = MetricsRegistry()
+        monitor = LoopLagMonitor(registry, interval_s=0.002)
+        monitor.start()
+        assert monitor.running
+        await asyncio.sleep(0.03)
+        healthy = monitor.samples
+        assert healthy > 0
+        assert monitor.p99_s() < 0.1  # idle loop: lag is scheduling noise
+        time.sleep(0.05)  # block the loop on purpose
+        await asyncio.sleep(0.01)  # let the late sentinel fire
+        buckets = monitor.histogram
+        assert buckets.count > healthy
+        # the stall shows up: max observed lag is at least ~the sleep
+        assert buckets.sum >= 0.04
+        await monitor.stop()
+        assert not monitor.running
+
+    asyncio.run(scenario())
+
+
+def test_loop_lag_monitor_rejects_bad_interval():
+    from repro.obs import LoopLagMonitor
+
+    with pytest.raises(ValueError):
+        LoopLagMonitor(MetricsRegistry(), interval_s=0.0)
+    with pytest.raises(ValueError):
+        ServeConfig(loop_lag_interval_ms=-1.0)
+
+
+def test_server_loop_lag_p99_under_budget_during_batched_crud():
+    """E2E runtime assertion: batch execution never blocks the loop
+    beyond budget, and the histogram is exported on every surface."""
+    registry = MetricsRegistry()
+    config = ServeConfig(loop_lag_interval_ms=2.0)
+
+    async def scenario(server, table):
+        assert server.loop_lag.running
+        async with AsyncServeClient(port=server.port) as client:
+            pairs = [(f"k{i}", i % 256) for i in range(512)]
+            for start in range(0, 512, 128):
+                await client.insert(pairs[start:start + 128])
+            assert await client.lookup(
+                [f"k{i}" for i in range(512)]
+            ) == [i % 256 for i in range(512)]
+            await client.update([("k0", 9), ("k1", 8)])
+            await client.delete([f"k{i}" for i in range(256, 512)])
+            await asyncio.sleep(0.03)  # guarantee sentinel wakeups
+            assert server.loop_lag.samples > 0
+            # generous CI budget: the point is "no multi-hundred-ms
+            # stall", not a latency SLO
+            assert server.loop_lag.p99_s() < 0.25
+            stats = await client.stats()
+            lag = stats["serve"]["loop_lag"]
+            assert lag["samples"] >= 1 and lag["p99_s"] < 0.25
+            metrics = parse_prometheus_text(await client.metrics_text())
+            assert metrics["repro_serve_loop_lag_seconds_count"] >= 1
+
+    run_with_server(scenario, config=config, registry=registry)
+    # after stop() the monitor task is gone but the histogram survives
+    histogram = registry.get("repro_serve_loop_lag_seconds")
+    assert histogram is not None and histogram.count > 0
+
+
+def test_server_loop_lag_disabled_keeps_schema():
+    """interval 0 disables sampling; the histogram still registers so
+    dashboards keep a stable schema."""
+    config = ServeConfig(loop_lag_interval_ms=0.0)
+
+    async def scenario(server, table):
+        assert not server.loop_lag.running
+        async with AsyncServeClient(port=server.port) as client:
+            await client.insert([("a", 1)])
+            stats = await client.stats()
+            assert stats["serve"]["loop_lag"] == {}
+            metrics = parse_prometheus_text(await client.metrics_text())
+            assert metrics["repro_serve_loop_lag_seconds_count"] == 0
+
+    run_with_server(scenario, config=config)
