@@ -14,12 +14,18 @@ AST-based linter with repo-specific rules:
 - **R4** (``rules_hygiene``) — mutable defaults, runtime asserts,
   ``__all__`` drift, stray ``print()``,
 - **R5** (``rules_invariant``) — interprocedural XOR-invariant dataflow
-  over the write paths (:mod:`repro.check.dataflow`).
+  over the write paths (:mod:`repro.check.dataflow`),
+- **R8** (``rules_exceptions`` + ``rules_resources``) —
+  exception-contract dataflow (``# repro: raises(...)`` coverage, serve
+  error-table exhaustiveness, ``# repro: atomic`` rollback discipline)
+  and OS-resource lifecycle / corruption-swallow rules.
 
-Beyond the static rules, two dynamic checkers share the same CLI: the
-vector-clock race detector (:mod:`repro.check.vectorclock`, ``--races``)
-and the deterministic schedule explorer (:mod:`repro.check.scheduler`,
-``--explore``).
+Beyond the static rules, three dynamic checkers share the same CLI: the
+vector-clock race detector (:mod:`repro.check.vectorclock`, ``--races``),
+the deterministic schedule explorer (:mod:`repro.check.scheduler`,
+``--explore``), and the fault-injection explorer
+(:mod:`repro.check.faultinject`, ``--inject``) — the runtime proof of
+the all-or-nothing guarantee the R8xx rules argue statically.
 
 Suppressions are per-line (``# repro: noqa[R101] -- why``) and require a
 justification; pre-existing debt is ratcheted down through a baseline
@@ -34,7 +40,7 @@ from repro.check.baseline import (
     write_baseline,
 )
 from repro.check.cli import main
-from repro.check.dataflow import ProjectModel, build_project
+from repro.check.dataflow import ProjectModel, build_project, catches
 from repro.check.engine import (
     CheckConfig,
     CheckedFile,
@@ -45,6 +51,16 @@ from repro.check.engine import (
     check_sources,
     iter_python_files,
     module_relpath,
+)
+from repro.check.faultinject import (
+    FaultCase,
+    InjectionOutcome,
+    InjectionSite,
+    default_cases,
+    discover_sites,
+    replay_site,
+    run_case_sweep,
+    run_sweep,
 )
 from repro.check.lockset import LockDisciplineError, LocksetRWLock
 from repro.check.pragmas import PragmaIndex, Suppression, parse_pragmas
@@ -87,6 +103,9 @@ __all__ = [
     "CooperativeMutex",
     "CooperativeRWLock",
     "ExplorationResult",
+    "FaultCase",
+    "InjectionOutcome",
+    "InjectionSite",
     "LockDisciplineError",
     "LocksetRWLock",
     "PROJECT_RULES",
@@ -106,9 +125,12 @@ __all__ = [
     "Violation",
     "YieldingValueTable",
     "build_project",
+    "catches",
     "check_paths",
     "check_source",
     "check_sources",
+    "default_cases",
+    "discover_sites",
     "embedder_scenario",
     "explore",
     "gate_bypass_scenario",
@@ -118,6 +140,9 @@ __all__ = [
     "main",
     "module_relpath",
     "parse_pragmas",
+    "replay_site",
+    "run_case_sweep",
     "run_schedule",
+    "run_sweep",
     "write_baseline",
 ]

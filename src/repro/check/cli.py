@@ -102,6 +102,51 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--exceptions", action="store_true",
+        help=(
+            "add an 'exceptions' report section with the R80x "
+            "exception-contract coverage (declared contracts, raise "
+            "sites, escape sets, wire-escapable exceptions); the rules "
+            "themselves always run"
+        ),
+    )
+    parser.add_argument(
+        "--resources", action="store_true",
+        help=(
+            "add a 'resources' report section with the R804/R805 "
+            "lifecycle coverage (factory sites, with-managed "
+            "acquisitions, closer calls); the rules themselves always "
+            "run"
+        ),
+    )
+    parser.add_argument(
+        "--inject", action="store_true",
+        help=(
+            "run the deterministic fault-injection sweep over the "
+            "canned atomic operations (exit 1 if any injected site "
+            "leaves the table torn or inconsistent)"
+        ),
+    )
+    parser.add_argument(
+        "--max-sites", type=int, default=200, metavar="N",
+        help=(
+            "injection budget per fault case, spread evenly over the "
+            "happy path (default 200; 0 = every traced site)"
+        ),
+    )
+    parser.add_argument(
+        "--inject-site", metavar="CASE:FILE:LINE#OCC", default=None,
+        help=(
+            "replay exactly one injection, e.g. "
+            "'insert_batch-scalar:repro/core/update.py:123#0' "
+            "(implies --inject)"
+        ),
+    )
+    parser.add_argument(
+        "--inject-report", metavar="FILE", default=None,
+        help="write the repro-faultinject/1 JSON report to FILE",
+    )
+    parser.add_argument(
         "--explore-mode", choices=("exhaustive", "pruned", "random"),
         default="exhaustive",
         help="schedule enumeration strategy (default exhaustive)",
@@ -190,6 +235,25 @@ def _run_explore(
     return section
 
 
+def _run_inject(
+    max_sites: int, site_spec: Optional[str], report_path: Optional[str]
+) -> Dict[str, Any]:
+    """Fault-injection sweep (or one replayed site); a JSON section."""
+    from repro.check import faultinject
+
+    if site_spec is not None:
+        case_name, _, site_id = site_spec.partition(":")
+        outcomes = [faultinject.replay_site(case_name, site_id)]
+    else:
+        outcomes = faultinject.run_sweep(max_sites=max_sites)
+    section = faultinject.report_json(outcomes)
+    if report_path is not None:
+        Path(report_path).write_text(
+            json.dumps(section, indent=2), encoding="utf-8"
+        )
+    return section
+
+
 def _render_text(violations: List[Violation]) -> str:
     lines = [violation.render() for violation in violations]
     lines.append(
@@ -270,7 +334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sections: Dict[str, Any] = {}
     dynamic_failures = 0
-    if args.async_rules or args.arrays:
+    if args.async_rules or args.arrays or args.exceptions or args.resources:
         from repro.check.engine import iter_python_files, module_relpath
 
         sources = {
@@ -293,6 +357,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                 1 for v in violations if v.rule.startswith("R7")
             )
             sections["arrays"] = section
+        if args.exceptions:
+            from repro.check import rules_exceptions
+
+            section = rules_exceptions.analysis_summary(sources, config)
+            section["violations"] = sum(
+                1 for v in violations
+                if v.rule in ("R801", "R802", "R803")
+            )
+            sections["exceptions"] = section
+        if args.resources:
+            from repro.check import rules_resources
+
+            section = rules_resources.analysis_summary(sources, config)
+            section["violations"] = sum(
+                1 for v in violations if v.rule in ("R804", "R805")
+            )
+            sections["resources"] = section
+    if args.inject or args.inject_site:
+        injected = _run_inject(
+            args.max_sites, args.inject_site, args.inject_report
+        )
+        sections["faultinject"] = injected
+        dynamic_failures += int(injected["failures"])
     if args.races:
         races = _run_races()
         sections["races"] = races
@@ -333,6 +420,42 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"storage read(s), {arrays_section['violations']} R7xx "
                 "violation(s)"
             )
+        if "exceptions" in sections:
+            exc_section = sections["exceptions"]
+            print(
+                f"exceptions: {exc_section['public_contract_functions']} "
+                f"public contract function(s), "
+                f"{exc_section['declared_contracts']} declared contract(s), "
+                f"{exc_section['atomic_functions']} atomic function(s), "
+                f"{exc_section['raise_sites']} raise site(s), "
+                f"{exc_section['escaping_functions']} escaping, "
+                f"{exc_section['violations']} R80x violation(s)"
+            )
+        if "resources" in sections:
+            res_section = sections["resources"]
+            print(
+                f"resources: {res_section['files_scanned']} file(s), "
+                f"{res_section['resource_factory_sites']} factory site(s) "
+                f"({res_section['with_managed']} with-managed), "
+                f"{res_section['closer_calls']} closer call(s), "
+                f"{res_section['corruption_catching_handlers']} corruption-"
+                f"catching handler(s), {res_section['violations']} "
+                "R804/R805 violation(s)"
+            )
+        if "faultinject" in sections:
+            inject_section = sections["faultinject"]
+            print(
+                f"faultinject: {inject_section['total_sites']} injected "
+                f"site(s) over {len(inject_section['cases'])} case(s), "
+                f"{inject_section['failures']} failing"
+            )
+            for report in inject_section["failure_reports"][:5]:
+                print(
+                    f"  {report['case']} @ {report['site']}: "
+                    f"injected {report['injected']}, raised "
+                    f"{report['raised'] or 'nothing'}, state "
+                    f"{report['state']}, consistent={report['consistent']}"
+                )
         if "races" in sections:
             races = sections["races"]
             print(

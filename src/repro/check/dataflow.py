@@ -23,9 +23,23 @@ the project-wide model those rules consume:
   so a ``cache.clear()`` never smears write effects across the graph;
 - ``writes_cells`` is propagated to a fixed point over the call edges,
   each function keeping a witness (the direct-write site it reaches) for
-  the diagnostics.
+  the diagnostics;
+- *raises* effect-sets are propagated the same way: every ``raise``
+  whose exception class is nameable (``raise DuplicateKey(...)``,
+  ``raise errors.KeyNotFound``, or ``raise exc`` under an
+  ``except E as exc``) seeds the raising function's escape set unless an
+  enclosing ``try`` inside the same function absorbs it (first matching
+  handler, judged through the class hierarchy, with no bare ``raise``).
+  Escapes then flow caller-ward over the resolved call edges, filtered
+  at each call site by the caller's own ``try`` nesting, and each
+  escaped exception keeps a *witness chain* naming the call path down to
+  the original raise statement. A ``raise`` line carrying a justified
+  ``noqa[R801]`` is sanctioned and contributes nothing — like the write
+  sites, the pragma blesses the whole pathway.
 
-:mod:`repro.check.rules_invariant` turns the model into R501–R503.
+:mod:`repro.check.rules_invariant` turns the model into R501–R503;
+:mod:`repro.check.rules_exceptions` turns the escape sets into
+R801–R803.
 """
 
 from __future__ import annotations
@@ -38,16 +52,138 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.check.engine import CheckConfig, CheckedFile
 
 __all__ = [
+    "BUILTIN_EXCEPTION_BASES",
     "BlockingSite",
-    "WriteSite",
     "CallSite",
     "FunctionInfo",
     "ProjectModel",
+    "RaiseSite",
+    "WriteSite",
     "build_project",
-    "receiver_text",
+    "catches",
+    "escapes_enclosing",
+    "handler_names",
     "is_table_receiver",
+    "receiver_text",
     "storage_attribute",
 ]
+
+#: class -> direct bases for the builtin exception hierarchy (the part of
+#: it the repo's code actually touches); project classes are merged in
+#: from the parsed ``class`` statements by :func:`build_project`.
+BUILTIN_EXCEPTION_BASES: Dict[str, List[str]] = {
+    "Exception": ["BaseException"],
+    "ArithmeticError": ["Exception"],
+    "ZeroDivisionError": ["ArithmeticError"],
+    "OverflowError": ["ArithmeticError"],
+    "AssertionError": ["Exception"],
+    "AttributeError": ["Exception"],
+    "BufferError": ["Exception"],
+    "EOFError": ["Exception"],
+    "ImportError": ["Exception"],
+    "ModuleNotFoundError": ["ImportError"],
+    "LookupError": ["Exception"],
+    "IndexError": ["LookupError"],
+    "KeyError": ["LookupError"],
+    "MemoryError": ["Exception"],
+    "NameError": ["Exception"],
+    "OSError": ["Exception"],
+    "IOError": ["OSError"],
+    "FileNotFoundError": ["OSError"],
+    "ConnectionError": ["OSError"],
+    "TimeoutError": ["OSError"],
+    "RuntimeError": ["Exception"],
+    "NotImplementedError": ["RuntimeError"],
+    "RecursionError": ["RuntimeError"],
+    "StopIteration": ["Exception"],
+    "StopAsyncIteration": ["Exception"],
+    "SystemError": ["Exception"],
+    "TypeError": ["Exception"],
+    "ValueError": ["Exception"],
+    "UnicodeError": ["ValueError"],
+    "KeyboardInterrupt": ["BaseException"],
+    "SystemExit": ["BaseException"],
+    "GeneratorExit": ["BaseException"],
+}
+
+#: exception classes *not* caught by ``except Exception`` — everything
+#: else unknown is assumed Exception-derived (user classes virtually
+#: always are).
+_BASE_ONLY = frozenset(
+    {"BaseException", "KeyboardInterrupt", "SystemExit", "GeneratorExit"}
+)
+
+
+def catches(raised: str, caught: str, bases: Dict[str, List[str]]) -> bool:
+    """True if ``except <caught>`` catches a raised ``<raised>``."""
+    if caught == "BaseException":
+        return True
+    if caught == "Exception" and raised not in _BASE_ONLY:
+        return True
+    seen: set = set()
+    frontier = [raised]
+    while frontier:
+        name = frontier.pop()
+        if name == caught:
+            return True
+        if name in seen:
+            continue
+        seen.add(name)
+        frontier.extend(bases.get(name, []))
+    return False
+
+
+def handler_names(handler: ast.ExceptHandler) -> List[str]:
+    """The exception class names an ``except`` clause catches (a bare
+    ``except:`` catches ``BaseException``)."""
+    if handler.type is None:
+        return ["BaseException"]
+    types = (list(handler.type.elts)
+             if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    names: List[str] = []
+    for node in types:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+def _contains_bare_raise(stmts: Iterable[ast.stmt]) -> bool:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise) and node.exc is None:
+                return True
+    return False
+
+
+def escapes_enclosing(
+    checked: CheckedFile,
+    node: ast.AST,
+    exc_name: str,
+    bases: Dict[str, List[str]],
+) -> bool:
+    """True if ``exc_name`` raised at ``node`` escapes the enclosing
+    function: no enclosing ``try`` (with the site in its *body* — a
+    raise inside a handler, ``else`` or ``finally`` is not caught by
+    that same ``try``) has a matching handler without a bare
+    ``raise``."""
+    child: ast.AST = node
+    parent = checked.parent(child)
+    while parent is not None:
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return True
+        if (isinstance(parent, ast.Try)
+                and any(child is stmt for stmt in parent.body)):
+            for handler in parent.handlers:
+                if any(catches(exc_name, caught, bases)
+                       for caught in handler_names(handler)):
+                    if not _contains_bare_raise(handler.body):
+                        return False
+                    break  # re-raised: keeps propagating outward
+        child, parent = parent, checked.parent(parent)
+    return True
 
 #: receivers that look like a value-table handle: a bare/dotted name whose
 #: last segment is ``table``/``*_table``, or the raw storage attributes.
@@ -122,6 +258,18 @@ class BlockingSite:
 
 
 @dataclass
+class RaiseSite:
+    """One ``raise`` statement with a nameable exception class."""
+
+    node: ast.Raise
+    line: int
+    #: the raised class name (``DuplicateKey``)
+    exc_name: str
+    #: the line carries a justified ``noqa[R801]`` — no effect contributed.
+    sanctioned: bool
+
+
+@dataclass
 class CallSite:
     """One resolvable call site inside a function body."""
 
@@ -151,6 +299,7 @@ class FunctionInfo:
     writes: List[WriteSite] = field(default_factory=list)
     calls: List[CallSite] = field(default_factory=list)
     blocking: List[BlockingSite] = field(default_factory=list)
+    raises: List[RaiseSite] = field(default_factory=list)
     #: fixed-point result: this function (transitively) writes cells
     writes_cells: bool = False
     #: where the writes bottom out, for diagnostics
@@ -160,6 +309,9 @@ class FunctionInfo:
     blocks_loop: bool = False
     #: where the blocking bottoms out, for diagnostics
     blocking_witness: str = ""
+    #: fixed-point result: exception class name -> witness chain down to
+    #: the raise statement that can escape this function
+    escapes: Dict[str, str] = field(default_factory=dict)
 
     @property
     def rel(self) -> str:
@@ -194,10 +346,17 @@ class ProjectModel:
         files: Dict[str, CheckedFile],
         functions: Dict[str, FunctionInfo],
         class_bases: Dict[str, List[str]],
+        exception_bases: Optional[Dict[str, List[str]]] = None,
     ) -> None:
         self.files = files
         self.functions = functions
         self.class_bases = class_bases
+        #: builtin exception hierarchy merged with the project's parsed
+        #: class statements — what :func:`catches` resolves against.
+        self.exception_bases = (
+            exception_bases if exception_bases is not None
+            else dict(BUILTIN_EXCEPTION_BASES)
+        )
 
     def functions_in(self, rel: str) -> List[FunctionInfo]:
         return [info for info in self.functions.values()
@@ -220,6 +379,52 @@ def _blocking_sanctioned(checked: CheckedFile, line: int) -> bool:
     # blocking line blesses the whole pathway (the effect stops
     # propagating to every async caller), so it counts as used.
     return checked.pragmas.suppresses("R601", line)
+
+
+def _raise_sanctioned(checked: CheckedFile, line: int) -> bool:
+    # Same consuming logic again: a noqa[R801] on the raise line removes
+    # the exception from the escape set project-wide (it stops
+    # propagating to every caller's contract), so it counts as used.
+    return checked.pragmas.suppresses("R801", line)
+
+
+def _raise_names(checked: CheckedFile, node: ast.Raise) -> List[str]:
+    """The class name(s) a ``raise`` statement can throw, or ``[]`` when
+    unresolvable (bare ``raise``, or a variable not bound by an enclosing
+    ``except E as var``) — precision over recall, like call resolution."""
+    exc = node.exc
+    if exc is None:
+        return []
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        return [exc.attr]
+    if not isinstance(exc, ast.Name):
+        return []
+    name = exc.id
+    if name[:1].isupper():
+        return [name]
+    # ``raise var`` — resolve through the enclosing ``except E as var``.
+    parent = checked.parent(node)
+    while parent is not None and not isinstance(
+        parent, (ast.FunctionDef, ast.AsyncFunctionDef)
+    ):
+        if isinstance(parent, ast.ExceptHandler) and parent.name == name:
+            return handler_names(parent)
+        parent = checked.parent(parent)
+    return []
+
+
+def _collect_raises(info: FunctionInfo) -> None:
+    checked = info.checked
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Raise):
+            continue
+        for exc_name in _raise_names(checked, node):
+            info.raises.append(RaiseSite(
+                node=node, line=node.lineno, exc_name=exc_name,
+                sanctioned=_raise_sanctioned(checked, node.lineno),
+            ))
 
 
 def _collect_functions(checked: CheckedFile) -> List[FunctionInfo]:
@@ -444,6 +649,38 @@ def _propagate_blocking(functions: Dict[str, FunctionInfo]) -> None:
                     break
 
 
+def _propagate_raises(
+    functions: Dict[str, FunctionInfo],
+    exception_bases: Dict[str, List[str]],
+) -> None:
+    for info in functions.values():
+        for site in info.raises:
+            if site.sanctioned or site.exc_name in info.escapes:
+                continue
+            if escapes_enclosing(info.checked, site.node, site.exc_name,
+                                 exception_bases):
+                info.escapes[site.exc_name] = (
+                    f"raise {site.exc_name} in {info.qualname} "
+                    f"({info.rel}:{site.line})"
+                )
+    changed = True
+    while changed:
+        changed = False
+        for info in functions.values():
+            for site in info.calls:
+                for target in site.targets:
+                    for exc, witness in target.escapes.items():
+                        if exc in info.escapes:
+                            continue
+                        if escapes_enclosing(info.checked, site.node,
+                                             exc, exception_bases):
+                            info.escapes[exc] = (
+                                f"{site.callee}() at {info.rel}:"
+                                f"{site.line} -> {witness}"
+                            )
+                            changed = True
+
+
 def build_project(
     checked_files: Sequence[CheckedFile], config: CheckConfig
 ) -> ProjectModel:
@@ -458,9 +695,17 @@ def build_project(
         # only widens resolution (more targets), never hides a writer.
         for name, bases in _collect_class_bases(checked).items():
             class_bases.setdefault(name, []).extend(bases)
+    exception_bases: Dict[str, List[str]] = {
+        name: list(parents)
+        for name, parents in BUILTIN_EXCEPTION_BASES.items()
+    }
+    for name, parents in class_bases.items():
+        exception_bases[name] = list(parents)
     for info in functions.values():
         _scan_body(info, config)
+        _collect_raises(info)
     _resolve_calls(functions, class_bases)
     _propagate_writes(functions)
     _propagate_blocking(functions)
-    return ProjectModel(files, functions, class_bases)
+    _propagate_raises(functions, exception_bases)
+    return ProjectModel(files, functions, class_bases, exception_bases)

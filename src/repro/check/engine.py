@@ -171,6 +171,61 @@ class CheckConfig:
     )
     #: methods that materialise fresh memory — taint stops here.
     copy_methods: Tuple[str, ...] = ("copy", "astype", "tolist")
+    #: modules whose *public* functions must declare their escapable
+    #: exceptions with a ``raises(...)`` pragma (R801).
+    exception_contract_modules: Tuple[str, ...] = (
+        "repro/core/embedder.py",
+        "repro/core/sharded.py",
+        "repro/core/persist.py",
+    )
+    #: the module holding the serve error table R802 checks, and the
+    #: table's name inside it.
+    serve_protocol_module: str = "repro/serve/protocol.py"
+    serve_error_table_name: str = "_ERROR_TABLE"
+    #: table classes whose wire-reachable methods feed the R802
+    #: escapable-exception set (the serve executors call them through
+    #: ``self.table.<method>``, which name-based resolution cannot see).
+    serve_table_classes: Tuple[str, ...] = (
+        "VisionEmbedder", "ShardedEmbedder",
+    )
+    #: the table methods the serve layer invokes on behalf of the wire.
+    serve_wire_methods: Tuple[str, ...] = (
+        "insert", "insert_batch", "update", "delete", "lookup_many",
+    )
+    #: call names an exception handler / finally block may use to roll a
+    #: partially-applied mutation back (R803) — assistant rollbacks plus
+    #: the table-level restore paths.
+    atomic_rollbacks: Tuple[str, ...] = (
+        "remove", "set_value", "clear", "_restore_state", "load_dense",
+        "restore", "xor",
+    )
+    #: dotted callee names that acquire an OS resource needing close()
+    #: (R804). An entry matches the exact callee or its last attribute
+    #: segment (``ThreadPoolExecutor`` covers
+    #: ``concurrent.futures.ThreadPoolExecutor``).
+    resource_factories: Tuple[str, ...] = (
+        "open", "socket.socket", "mmap.mmap", "ThreadPoolExecutor",
+        "ProcessPoolExecutor", "HTTPConnection", "Popen",
+    )
+    #: method names that release such a resource.
+    resource_closers: Tuple[str, ...] = ("close", "shutdown", "terminate")
+    #: exception names whose silent swallowing hides table corruption
+    #: (R805): a bare ``pass``-style handler for these masks a broken
+    #: A1^A2^A3 invariant or a half-read snapshot.
+    corruption_exceptions: Tuple[str, ...] = (
+        "AssertionError", "ReconstructionFailed", "CorruptSnapshotError",
+    )
+
+    def is_contract_module(self, rel: str) -> bool:
+        """True if ``rel``'s public functions need raises contracts."""
+        return any(rel.endswith(mod)
+                   for mod in self.exception_contract_modules)
+
+    def is_resource_factory(self, callee: str) -> bool:
+        """True if the dotted callee acquires a closable resource (R804)."""
+        last = callee.rsplit(".", 1)[-1]
+        return any(callee == name or last == name.rsplit(".", 1)[-1]
+                   for name in self.resource_factories)
 
     def is_assistant_receiver(self, text: str) -> bool:
         """True if a dotted receiver looks like an assistant-table handle."""
@@ -255,10 +310,12 @@ class CheckedFile:
     def _def_pragma_lines(
         self, node: ast.FunctionDef | ast.AsyncFunctionDef
     ) -> "set[int]":
-        """Lines where a def-scoped pragma may sit: the line above the
-        def (or its first decorator) plus every *signature* line — a
-        multi-line signature carries trailing pragmas on its closing
-        paren, not on the ``def`` line."""
+        """Lines where a def-scoped pragma may sit: the contiguous run of
+        ``# repro:`` comment lines above the def (or its first decorator)
+        plus every *signature* line — a multi-line signature carries
+        trailing pragmas on its closing paren, not on the ``def`` line.
+        The comment run lets several directives stack on one def
+        (``raises(...)`` above ``atomic`` above the signature)."""
         first_line = (
             node.decorator_list[0].lineno if node.decorator_list
             else node.lineno
@@ -266,7 +323,12 @@ class CheckedFile:
         body_start = node.body[0].lineno if node.body else node.lineno + 1
         candidates = set(range(node.lineno, max(body_start,
                                                 node.lineno + 1)))
-        candidates.add(first_line - 1)
+        above = first_line - 1
+        candidates.add(above)
+        while (above >= 1 and above <= len(self.lines)
+               and re.match(r"\s*#\s*repro:", self.lines[above - 1])):
+            candidates.add(above)
+            above -= 1
         return candidates
 
     def is_hotpath(
@@ -286,6 +348,31 @@ class CheckedFile:
             if contract is not None:
                 return contract
         return None
+
+    def is_atomic(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        """True if the def carries a ``# repro: atomic`` pragma."""
+        return bool(
+            self._def_pragma_lines(node) & self.pragmas.atomic_lines
+        )
+
+    def raises_contract(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Optional[Tuple[str, ...]]:
+        """The ``# repro: raises(...)`` contract on a def, if any.
+
+        Several ``raises(...)`` lines stacked above one def union into a
+        single contract (a long exception list does not have to fit one
+        comment line)."""
+        names: List[str] = []
+        found = False
+        for line in sorted(self._def_pragma_lines(node)):
+            contract = self.pragmas.raises_lines.get(line)
+            if contract is not None:
+                found = True
+                names.extend(n for n in contract if n not in names)
+        return tuple(names) if found else None
 
     def hotpath_functions(
         self,
@@ -344,10 +431,12 @@ def _load_rules() -> None:
     from repro.check import (  # noqa: F401  (registration side effect)
         rules_arrays,
         rules_async,
+        rules_exceptions,
         rules_hotpath,
         rules_hygiene,
         rules_invariant,
         rules_locks,
+        rules_resources,
         rules_writes,
     )
 

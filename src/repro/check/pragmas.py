@@ -1,6 +1,6 @@
 """``# repro:`` pragma comments: hotpath/arrays markers, noqa suppressions.
 
-Three directives exist; anything else after ``# repro:`` is itself
+Five directives exist; anything else after ``# repro:`` is itself
 flagged (R002) so a typo cannot silently disable a rule:
 
 - ``# repro: hotpath`` — marks the *next* ``def`` (trailing anywhere on
@@ -11,6 +11,17 @@ flagged (R002) so a typo cannot silently disable a rule:
   ``def`` (same placement as ``hotpath``): every literal ``dtype=`` kwarg
   (and literal ``.astype(...)`` argument) in the body must name one of
   the listed dtypes (R702). At least one dtype is required.
+- ``# repro: raises(DuplicateKey, ValueError)`` — the exception contract
+  of the *next* ``def`` (same placement): R801 reports any exception
+  that can escape the function's body interprocedurally and is covered
+  by none of the listed names (a base class covers its subclasses). At
+  least one exception name is required. Directives above a def stack:
+  several ``# repro:`` comment lines directly above the signature all
+  attach to it.
+- ``# repro: atomic`` — the *next* ``def`` promises all-or-nothing
+  mutation: R803 reports any table write-effect that is reachable
+  before a possible exception escape unless a rollback postdominates
+  it on the exception edge.
 - ``# repro: noqa[R101] -- justification`` — suppresses the named rules
   on that line. The justification after ``--`` is mandatory: a bare noqa
   does not suppress anything and is reported as R001. Several rules may
@@ -39,6 +50,8 @@ _NOQA_RE = re.compile(
 )
 _HOTPATH_RE = re.compile(r"^hotpath\s*$")
 _ARRAYS_RE = re.compile(r"^arrays\((?P<names>[A-Za-z0-9_,\s]*)\)\s*$")
+_RAISES_RE = re.compile(r"^raises\((?P<names>[A-Za-z0-9_,\s]*)\)\s*$")
+_ATOMIC_RE = re.compile(r"^atomic\s*$")
 
 
 @dataclass
@@ -66,6 +79,10 @@ class PragmaIndex:
     hotpath_lines: Set[int] = field(default_factory=set)
     #: line -> dtype names declared by an ``arrays(...)`` contract
     arrays_lines: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    #: line -> exception names declared by a ``raises(...)`` contract
+    raises_lines: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    #: lines bearing an ``atomic`` marker
+    atomic_lines: Set[int] = field(default_factory=set)
     #: malformed/unknown pragmas, reported as violations directly
     problems: List[Violation] = field(default_factory=list)
 
@@ -124,6 +141,27 @@ def parse_pragmas(source: str, path: str) -> PragmaIndex:
                 ))
                 continue
             index.arrays_lines[line] = names
+            continue
+        if _ATOMIC_RE.match(body):
+            index.atomic_lines.add(line)
+            continue
+        raises = _RAISES_RE.match(body)
+        if raises is not None:
+            names = tuple(
+                name.strip() for name in raises.group("names").split(",")
+                if name.strip()
+            )
+            if not names:
+                index.problems.append(Violation(
+                    rule="R002", path=path, line=line, col=col,
+                    message=(
+                        "raises pragma needs at least one exception: "
+                        "# repro: raises(DuplicateKey, ...)"
+                    ),
+                    snippet=snippet,
+                ))
+                continue
+            index.raises_lines[line] = names
             continue
         noqa = _NOQA_RE.match(body)
         if noqa is not None:

@@ -1,0 +1,308 @@
+"""R8xx (static half) — interprocedural exception-contract rules.
+
+The reliability claim of the paper ("rare failure") rests on every
+mutation path either fully applying or cleanly failing. The R1xx/R5xx
+rules police *where* cells are written; these rules police what happens
+on the way *out* — which exceptions can escape which functions, built on
+the raises effect-sets :mod:`repro.check.dataflow` propagates over the
+call graph:
+
+- **R801** — a public function of an exception-contract module
+  (embedder/sharded/persist) with a non-empty escape set must declare
+  every escapable exception in a ``# repro: raises(...)`` pragma (a
+  declared base class covers its subclasses). The diagnostic carries the
+  witness chain down to the actual ``raise`` statement, however many
+  frames down it sits.
+- **R802** — the serve error table in ``protocol.py`` must be exhaustive
+  over the set of exceptions escapable from the server's table
+  executors and the table classes' wire-reachable methods: an unmapped
+  exception reaches the wire as a generic 500 and the client cannot
+  rebuild the library type.
+- **R803** — a ``# repro: atomic`` function may not have a cell/plane
+  write-effect (direct, or through a resolved call — the R5xx
+  summaries) reachable while an exception can still escape, unless a
+  rollback call (``config.atomic_rollbacks``) postdominates the write
+  on the exception edge (handler/``finally`` of an enclosing ``try``).
+  Write sites that *are* recovery code (inside a handler or ``finally``)
+  are the rollback and are exempt, as are calls that resolve only to
+  the public mutation API (each callee is its own atomic front door).
+
+The dynamic counterpart — proving at runtime what R803 claims statically
+— is :mod:`repro.check.faultinject`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.check.dataflow import (
+    FunctionInfo,
+    ProjectModel,
+    catches,
+)
+from repro.check.engine import (
+    CheckConfig,
+    CheckedFile,
+    register_project,
+)
+from repro.check.violations import Violation
+
+__all__ = [
+    "analysis_summary",
+    "check_atomic_rollbacks",
+    "check_error_table_exhaustive",
+    "check_exception_contracts",
+]
+
+
+@register_project
+def check_exception_contracts(
+    model: ProjectModel, config: CheckConfig
+) -> Iterator[Violation]:
+    """R801: escapable exception not covered by the raises contract."""
+    for info in model.functions.values():
+        if not config.is_contract_module(info.rel) or not info.is_public:
+            continue
+        if not info.escapes:
+            continue
+        declared = info.checked.raises_contract(info.node) or ()
+        for exc, witness in sorted(info.escapes.items()):
+            if any(catches(exc, name, model.exception_bases)
+                   for name in declared):
+                continue
+            hint = (
+                f"add it to the contract ({', '.join(declared)})"
+                if declared else
+                "declare the contract with # repro: raises(...)"
+            )
+            yield info.checked.violation(
+                "R801", info.node,
+                f"{exc} can escape {info.qualname} but is not in its "
+                f"raises(...) contract — {hint}; witness: {witness}",
+            )
+
+
+def _error_table_entries(
+    checked: CheckedFile, table_name: str
+) -> Tuple[Optional[ast.stmt], List[str]]:
+    """The ``_ERROR_TABLE`` assignment and the exception names it maps."""
+    for stmt in checked.tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == table_name
+                   for t in targets):
+            continue
+        names: List[str] = []
+        for node in ast.walk(value):
+            if not isinstance(node, ast.Tuple) or not node.elts:
+                continue
+            first = node.elts[0]
+            if isinstance(first, ast.Name):
+                names.append(first.id)
+            elif isinstance(first, ast.Attribute):
+                names.append(first.attr)
+        return stmt, names
+    return None, []
+
+
+def _wire_escapes(
+    model: ProjectModel, config: CheckConfig
+) -> Dict[str, str]:
+    """Union of escape sets over everything the wire can reach: the
+    server's sanctioned table executors plus the table classes' wire
+    methods (the executors call those through ``self.table.<m>``, an
+    attribute call name-based resolution deliberately leaves
+    unresolved)."""
+    escapable: Dict[str, str] = {}
+    executors = set(config.serve_table_executors)
+    for info in model.functions.values():
+        is_executor = info.qualname in executors
+        is_wire_method = (
+            info.class_name in config.serve_table_classes
+            and info.name in config.serve_wire_methods
+        )
+        if not (is_executor or is_wire_method):
+            continue
+        for exc, witness in info.escapes.items():
+            escapable.setdefault(exc, f"{info.qualname}: {witness}")
+    return escapable
+
+
+@register_project
+def check_error_table_exhaustive(
+    model: ProjectModel, config: CheckConfig
+) -> Iterator[Violation]:
+    """R802: the serve error table misses an escapable exception."""
+    protocol = None
+    for rel, checked in model.files.items():
+        if rel.endswith(config.serve_protocol_module):
+            protocol = checked
+            break
+    if protocol is None:
+        return
+    table_stmt, mapped = _error_table_entries(
+        protocol, config.serve_error_table_name
+    )
+    if table_stmt is None:
+        return
+    # ServeError subclasses carry their own status/code and are mapped
+    # by the isinstance branch of error_response before the table runs.
+    mapped = mapped + ["ServeError"]
+    for exc, witness in sorted(_wire_escapes(model, config).items()):
+        if any(catches(exc, name, model.exception_bases)
+               for name in mapped):
+            continue
+        yield protocol.violation(
+            "R802", table_stmt,
+            f"{exc} can escape the serve table executors but has no "
+            f"entry in {config.serve_error_table_name} — it would reach "
+            f"the wire as a generic 500; escape path: {witness}",
+        )
+
+
+def _in_recovery_block(checked: CheckedFile, site: ast.AST) -> bool:
+    """True if ``site`` sits inside an ``except`` handler or ``finally``
+    block — it *is* the rollback/cleanup code, not the protected write."""
+    child: ast.AST = site
+    for ancestor in checked.ancestors(site):
+        if isinstance(ancestor, ast.ExceptHandler):
+            return True
+        if isinstance(ancestor, ast.Try) and any(
+            child is stmt for stmt in ancestor.finalbody
+        ):
+            return True
+        child = ancestor
+    return False
+
+
+def _atomic_protected(
+    checked: CheckedFile, site: ast.AST, config: CheckConfig
+) -> bool:
+    """True if ``site`` sits in a ``try`` body whose handlers (or
+    ``finally``) contain a rollback call (``config.atomic_rollbacks``)."""
+    child: ast.AST = site
+    for ancestor in checked.ancestors(site):
+        if isinstance(ancestor, ast.Try) and any(
+            child is stmt for stmt in ancestor.body
+        ):
+            recovery: List[ast.AST] = list(ancestor.handlers)
+            recovery.extend(ancestor.finalbody)
+            for block in recovery:
+                for node in ast.walk(block):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if isinstance(node.func, ast.Attribute):
+                        name = node.func.attr
+                    elif isinstance(node.func, ast.Name):
+                        name = node.func.id
+                    else:
+                        continue
+                    if name in config.atomic_rollbacks:
+                        return True
+        child = ancestor
+    return False
+
+
+@register_project
+def check_atomic_rollbacks(
+    model: ProjectModel, config: CheckConfig
+) -> Iterator[Violation]:
+    """R803: atomic function with an unprotected pre-escape write."""
+    for info in model.functions.values():
+        checked = info.checked
+        if not checked.is_atomic(info.node):
+            continue
+        if not info.escapes:
+            continue  # nothing can escape: trivially all-or-nothing
+        effects: List[Tuple[ast.AST, str]] = [
+            (site.node, site.detail) for site in info.effective_writes()
+        ]
+        for call in info.calls:
+            writers = call.writing_targets()
+            if not writers:
+                continue
+            if all(writer.name in config.public_mutation_api
+                   for writer in writers):
+                continue  # delegation: the callee is its own atomic unit
+            effects.append((
+                call.node,
+                f"{call.callee}() -> {writers[0].write_witness}",
+            ))
+        escapes = ", ".join(sorted(info.escapes))
+        for node, detail in effects:
+            if _in_recovery_block(checked, node):
+                continue
+            if _atomic_protected(checked, node, config):
+                continue
+            yield checked.violation(
+                "R803", node,
+                f"'# repro: atomic' function {info.qualname} reaches a "
+                f"table write via {detail} while {escapes} can still "
+                "escape, with no rollback on the exception edge — wrap "
+                "the write in try/except (or finally) restoring the "
+                "pre-call state",
+            )
+
+
+# ---------------------------------------------------------------------------
+# CLI section (--exceptions)
+# ---------------------------------------------------------------------------
+
+
+def analysis_summary(
+    sources: Dict[str, str], config: Optional[CheckConfig] = None
+) -> Dict[str, Any]:
+    """Aggregate exception-contract statistics for the ``--exceptions``
+    JSON section: how much surface the R8xx static rules actually saw.
+    Violations themselves flow through the normal engine pipeline."""
+    from repro.check.dataflow import build_project
+    from repro.check.engine import CheckedFile as _CheckedFile
+    from repro.check.pragmas import parse_pragmas
+
+    if config is None:
+        config = CheckConfig()
+    files: List[CheckedFile] = []
+    for rel in sorted(sources):
+        try:
+            tree = ast.parse(sources[rel])
+        except SyntaxError:
+            continue
+        files.append(_CheckedFile(rel, sources[rel], tree,
+                                  parse_pragmas(sources[rel], rel)))
+    model = build_project(files, config)
+    contract_functions: List[FunctionInfo] = [
+        info for info in model.functions.values()
+        if config.is_contract_module(info.rel) and info.is_public
+    ]
+    declared = [
+        info for info in contract_functions
+        if info.checked.raises_contract(info.node) is not None
+    ]
+    atomic = [
+        info for info in model.functions.values()
+        if info.checked.is_atomic(info.node)
+    ]
+    distinct = {
+        exc for info in model.functions.values() for exc in info.escapes
+    }
+    return {
+        "contract_modules": list(config.exception_contract_modules),
+        "public_contract_functions": len(contract_functions),
+        "declared_contracts": len(declared),
+        "atomic_functions": len(atomic),
+        "raise_sites": sum(
+            len(info.raises) for info in model.functions.values()
+        ),
+        "escaping_functions": sum(
+            1 for info in model.functions.values() if info.escapes
+        ),
+        "distinct_escaping_exceptions": sorted(distinct),
+        "wire_escapes": sorted(_wire_escapes(model, config)),
+    }

@@ -1,0 +1,197 @@
+"""R8xx (resource half) — OS-resource lifecycle and corruption masking.
+
+Two per-file rules complete the R8xx family:
+
+- **R804** — a call that acquires an OS resource (``open``, sockets,
+  executors, ``mmap``, HTTP connections, subprocesses) outside a
+  ``with`` block must be bound to a name that has a ``close()`` /
+  ``shutdown()`` / ``terminate()`` call on it somewhere in the file
+  (``self._conn = HTTPConnection(...)`` in ``__init__`` paired with
+  ``self._conn.close()`` in ``close()`` passes). An unbound acquisition
+  (``open(p).read()``) or one with no closer leaks the handle on every
+  exception path — prefer ``with``; a deliberate hand-off needs a
+  ``noqa[R804]`` justification.
+- **R805** — an ``except`` clause that names a table-corruption
+  exception (``AssertionError``, ``ReconstructionFailed``,
+  ``CorruptSnapshotError``) or a blanket base (``Exception``,
+  ``BaseException``, bare ``except:``) may not *silently* swallow it: a
+  handler body with no ``raise``, no call, and no control-flow exit
+  masks a broken ``A1^A2^A3`` invariant or a half-read snapshot.
+  Logging, re-raising, returning a sentinel, recording the exception
+  (``task.error = exc``), or ``continue``-ing a retry loop all count as
+  handling; only the silent ``pass`` shape is flagged, and a justified ``noqa[R805]`` sanctions the rare teardown
+  path that really must drop everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.check.dataflow import handler_names, receiver_text
+from repro.check.engine import CheckConfig, CheckedFile, register
+from repro.check.violations import Violation
+
+__all__ = [
+    "analysis_summary",
+    "check_corruption_swallow",
+    "check_resource_lifecycle",
+]
+
+#: blanket handler types that catch the corruption exceptions too.
+_SWALLOW_BASES = ("Exception", "BaseException")
+
+
+def _callee_text(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return receiver_text(node.func)
+    return None
+
+
+def _with_managed_calls(checked: CheckedFile) -> "set[int]":
+    """ids of every Call node inside a ``with`` item's context expr."""
+    managed: "set[int]" = set()
+    for node in ast.walk(checked.tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for sub in ast.walk(item.context_expr):
+                    if isinstance(sub, ast.Call):
+                        managed.add(id(sub))
+    return managed
+
+
+def _closed_receivers(
+    checked: CheckedFile, config: CheckConfig
+) -> "set[str]":
+    """Dotted receivers a closer call releases, anywhere in the file."""
+    closed: "set[str]" = set()
+    for node in ast.walk(checked.tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in config.resource_closers):
+            receiver = receiver_text(node.func.value)
+            if receiver is not None:
+                closed.add(receiver)
+    return closed
+
+
+@register
+def check_resource_lifecycle(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R804: resource acquired outside ``with`` and never closed."""
+    managed = _with_managed_calls(checked)
+    closed = _closed_receivers(checked, config)
+    for node in ast.walk(checked.tree):
+        if not isinstance(node, ast.Call) or id(node) in managed:
+            continue
+        callee = _callee_text(node)
+        if callee is None or not config.is_resource_factory(callee):
+            continue
+        parent = checked.parent(node)
+        target: Optional[str] = None
+        if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+            target = receiver_text(parent.targets[0])
+        elif isinstance(parent, ast.AnnAssign):
+            target = receiver_text(parent.target)
+        if target is not None and target in closed:
+            continue
+        where = (
+            f"bound to {target} which is never closed" if target
+            else "not bound to a closable name"
+        )
+        yield checked.violation(
+            "R804", node,
+            f"{callee}() acquires an OS resource outside 'with' and "
+            f"{where} — manage it with 'with', or pair the binding with "
+            "a close()/shutdown() on every path",
+        )
+
+
+def _is_silent(body: List[ast.stmt]) -> bool:
+    """True if the handler body neither raises, calls, exits, nor
+    records anything (``task.error = exc`` is handling)."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Raise, ast.Call, ast.Return,
+                                 ast.Continue, ast.Break, ast.Assign,
+                                 ast.AugAssign, ast.AnnAssign)):
+                return False
+    return True
+
+
+@register
+def check_corruption_swallow(
+    checked: CheckedFile, config: CheckConfig
+) -> Iterator[Violation]:
+    """R805: silent handler swallowing a table-corruption exception."""
+    for node in ast.walk(checked.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        names = handler_names(node)
+        if not any(name in config.corruption_exceptions
+                   or name in _SWALLOW_BASES for name in names):
+            continue
+        if not _is_silent(node.body):
+            continue
+        caught = ", ".join(names) if names else "everything"
+        yield checked.violation(
+            "R805", node,
+            f"except ({caught}) silently swallows table-corruption "
+            "exceptions — re-raise, log, or route the failure; a broken "
+            "invariant masked here surfaces as wrong lookups later",
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI section (--resources)
+# ---------------------------------------------------------------------------
+
+
+def analysis_summary(
+    sources: Dict[str, str], config: Optional[CheckConfig] = None
+) -> Dict[str, Any]:
+    """Aggregate resource-lifecycle statistics for the ``--resources``
+    JSON section. Violations themselves flow through the engine."""
+    from repro.check.pragmas import parse_pragmas
+
+    if config is None:
+        config = CheckConfig()
+    files_scanned = 0
+    factory_sites = 0
+    with_managed = 0
+    closer_calls = 0
+    swallow_handlers = 0
+    for rel in sorted(sources):
+        try:
+            tree = ast.parse(sources[rel])
+        except SyntaxError:
+            continue
+        checked = CheckedFile(rel, sources[rel], tree,
+                              parse_pragmas(sources[rel], rel))
+        files_scanned += 1
+        managed = _with_managed_calls(checked)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                callee = _callee_text(node)
+                if callee is not None and config.is_resource_factory(callee):
+                    factory_sites += 1
+                    if id(node) in managed:
+                        with_managed += 1
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in config.resource_closers):
+                    closer_calls += 1
+            elif isinstance(node, ast.ExceptHandler):
+                if any(name in config.corruption_exceptions
+                       or name in _SWALLOW_BASES
+                       for name in handler_names(node)):
+                    swallow_handlers += 1
+    return {
+        "files_scanned": files_scanned,
+        "resource_factory_sites": factory_sites,
+        "with_managed": with_managed,
+        "closer_calls": closer_calls,
+        "corruption_catching_handlers": swallow_handlers,
+    }

@@ -59,6 +59,18 @@ RULE_CATALOGUE: Dict[str, str] = {
             "'# repro: arrays(...)' dtype contract",
     "R703": "hotpath function lets a view of plane storage escape "
             "without an explicit .copy()",
+    "R801": "exception escaping a public API function not covered by its "
+            "'# repro: raises(...)' contract",
+    "R802": "serve error table not exhaustive: an exception escapable "
+            "from the server's table executors has no wire code mapping",
+    "R803": "'# repro: atomic' function has a table write-effect "
+            "reachable before a possible escape without a rollback on "
+            "the exception edge",
+    "R804": "resource (file/socket/executor/mmap) acquired outside "
+            "'with' without a close() on the exception edge",
+    "R805": "except block swallows a table-corruption exception "
+            "(AssertionError/ReconstructionFailed/CorruptSnapshotError) "
+            "without re-raising or handling it",
 }
 
 

@@ -13,6 +13,7 @@ from repro.core.errors import (
     ReconstructionFailed,
     KeyNotFound,
     DuplicateKey,
+    CorruptSnapshotError,
 )
 from repro.core.value_table import ValueTable
 from repro.core.assistant_table import AssistantTable
@@ -49,6 +50,7 @@ __all__ = [
     "ReconstructionFailed",
     "KeyNotFound",
     "DuplicateKey",
+    "CorruptSnapshotError",
     "ValueTable",
     "AssistantTable",
     "ArrayAssistant",

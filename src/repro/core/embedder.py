@@ -195,6 +195,7 @@ class VisionEmbedder(ValueOnlyTable):
     def __contains__(self, key: Key) -> bool:
         return key_to_u64(key) in self._assistant
 
+    # repro: raises(ValueError, TypeError)
     def lookup(self, key: Key) -> int:  # repro: hotpath
         """XOR of the key's three cells — fast space only, O(1)."""
         handle = key_to_u64(key)
@@ -220,6 +221,7 @@ class VisionEmbedder(ValueOnlyTable):
         result: npt.NDArray[np.uint64] = self._table.gather_xor(flat_mat)
         return result
 
+    # repro: raises(ValueError, TypeError)
     def lookup_many(self, keys: Iterable[Key]) -> npt.NDArray[np.uint64]:
         """Batched lookup over arbitrary (mixed-type) keys.
 
@@ -228,6 +230,9 @@ class VisionEmbedder(ValueOnlyTable):
         """
         return self.lookup_batch(keys_to_u64_batch(list(keys)))
 
+    # repro: atomic
+    # repro: raises(DuplicateKey, ValueError, TypeError, UpdateFailure)
+    # repro: raises(SpaceExhausted, ReconstructionFailed)
     def insert(self, key: Key, value: int) -> None:  # repro: hotpath
         """Insert a new pair; dynamic update per §IV."""
         handle = key_to_u64(key)
@@ -237,12 +242,18 @@ class VisionEmbedder(ValueOnlyTable):
         self._assistant.add(handle, value, self._cells_for(handle))
         try:
             self._run_update(handle)
-        except SpaceExhausted:
-            # The deferred search left the value table untouched, so
-            # dropping the assistant entry restores full consistency.
+        except BaseException:
+            # A failed search leaves the value table untouched, and a
+            # failed apply undoes itself (UpdatePlan.apply), so dropping
+            # the assistant entry restores full consistency — for *any*
+            # failure (SpaceExhausted, a fault mid-walk), not just the
+            # policy exceptions.
             self._assistant.remove(handle)
             raise
 
+    # repro: atomic
+    # repro: raises(DuplicateKey, ValueError, TypeError, UpdateFailure)
+    # repro: raises(SpaceExhausted, ReconstructionFailed)
     def insert_batch(  # repro: hotpath
         self, keys: Iterable[Key], values: Iterable[int]
     ) -> None:
@@ -252,9 +263,7 @@ class VisionEmbedder(ValueOnlyTable):
         are computed in a single vectorised :meth:`HashFamily.indices_batch`
         pass, and the whole batch is validated (duplicates, value range)
         before anything is registered — a rejected batch leaves the table
-        untouched. The dynamic repair walks then run per key with the
-        precomputed cells, walk-for-walk identical to sequential
-        :meth:`insert` calls (a property test asserts bit-equal tables).
+        untouched.
 
         How the walks run depends on ``config.backend``: the scalar engine
         repairs key by key, walk-for-walk identical to sequential
@@ -265,10 +274,11 @@ class VisionEmbedder(ValueOnlyTable):
 
         If a mid-batch failure triggers reconstruction, the new seed's
         cells for the *remaining* keys are recomputed in one further
-        vectorised pass. :class:`SpaceExhausted` aborts the batch with the
-        already-walked keys inserted, matching ``insert_many``'s
-        sequential semantics (under the vector engine the peeled subset is
-        part of that kept set).
+        vectorised pass. The batch is **all-or-nothing**: any mid-batch
+        failure — :class:`SpaceExhausted`, a reconstruction that never
+        finds a seed, or an arbitrary fault mid-walk — restores the table
+        bit-for-bit to its pre-batch state (cells, assistant entries, and
+        hash seed) before the exception propagates.
         """
         key_list = list(keys)
         handles = keys_to_u64_batch(key_list)
@@ -298,15 +308,24 @@ class VisionEmbedder(ValueOnlyTable):
         if bool((value_arr > mask).any()):
             self._check_value(value_list[int(np.argmax(value_arr > mask))])
         self._stats.note_batch(n)
-        self._engine.insert_batch(self, handles, value_list)
+        snapshot = self._snapshot_state()
+        try:
+            self._engine.insert_batch(self, handles, value_list)
+        except BaseException:
+            # All-or-nothing: a mid-batch failure rewinds cells,
+            # assistant entries, and seed to the pre-batch snapshot.
+            self._restore_state(snapshot)
+            raise
 
+    # repro: raises(DuplicateKey, ValueError, TypeError, UpdateFailure)
+    # repro: raises(SpaceExhausted, ReconstructionFailed)
     def insert_many(self, pairs: Iterable[Tuple[Key, int]]) -> None:
         """Insert pairs via :meth:`insert_batch` (vectorised hashing).
 
         Unlike the base-class loop, the whole batch is validated up front:
         a duplicate or out-of-range pair rejects the batch before any
-        insert happens. :class:`SpaceExhausted` still leaves the
-        successfully walked prefix in place, like sequential inserts.
+        insert happens, and a mid-batch :class:`SpaceExhausted` rolls the
+        whole batch back (see :meth:`insert_batch`).
         """
         pair_list = list(pairs)
         if not pair_list:
@@ -315,6 +334,9 @@ class VisionEmbedder(ValueOnlyTable):
             [key for key, _ in pair_list], [value for _, value in pair_list]
         )
 
+    # repro: atomic
+    # repro: raises(KeyNotFound, ValueError, TypeError, UpdateFailure)
+    # repro: raises(SpaceExhausted, ReconstructionFailed)
     def update(self, key: Key, value: int) -> None:
         """Change the value of an existing key; dynamic update per §IV."""
         handle = key_to_u64(key)
@@ -325,12 +347,14 @@ class VisionEmbedder(ValueOnlyTable):
         self._assistant.set_value(handle, value)
         try:
             self._run_update(handle)
-        except SpaceExhausted:
-            # Value table untouched on failure; restore the old value so
-            # the existing pair remains correct.
+        except BaseException:
+            # Value table untouched on a failed search, and a failed
+            # apply undoes itself; restoring the old value keeps the
+            # existing pair correct on any failure.
             self._assistant.set_value(handle, old_value)
             raise
 
+    # repro: raises(KeyNotFound, ValueError, TypeError)
     def delete(self, key: Key) -> None:
         """Remove a pair — slow-space only; the value table is untouched.
 
@@ -348,6 +372,8 @@ class VisionEmbedder(ValueOnlyTable):
     # Construction helpers
     # ------------------------------------------------------------------
 
+    # repro: raises(DuplicateKey, ValueError, TypeError, UpdateFailure)
+    # repro: raises(SpaceExhausted, ReconstructionFailed)
     @classmethod
     def from_pairs(
         cls,
@@ -374,13 +400,20 @@ class VisionEmbedder(ValueOnlyTable):
             table.insert_many(pair_list)
         return table
 
+    # repro: atomic
+    # repro: raises(DuplicateKey, ValueError, TypeError)
+    # repro: raises(ReconstructionFailed)
     def bulk_load(self, pairs: Iterable[Tuple[Key, int]]) -> None:
         """Statically (re)build the table holding existing + new pairs.
 
         Uses the Bloomier-style greedy peel (§II "Static Construction",
         offered for reconstruction in §IV-C): O(n) total rather than n
         dynamic repair walks, succeeding with near-certainty at the default
-        1.7 cells/key. Reseeds and retries on the rare peel stall.
+        1.7 cells/key. Reseeds and retries on the rare peel stall; if no
+        seed within the retry budget works, the table is restored
+        bit-for-bit to its pre-call state before
+        :class:`ReconstructionFailed` propagates (all-or-nothing, like
+        :meth:`insert_batch`).
         """
         pair_list = list(pairs)
         if not pair_list:
@@ -415,47 +448,54 @@ class VisionEmbedder(ValueOnlyTable):
         all_values.extend(new_values)
         key_array = np.array(all_keys, dtype=np.uint64)
         self._stats.note_batch(len(new_keys))
-
-        if hasattr(self._engine, "bulk_load_arrays"):
-            # The vector engine peels directly over flat arrays, skipping
-            # the per-key cells-tuple materialisation entirely.
-            self._engine.bulk_load_arrays(
-                self,
-                key_array,
-                np.array(all_values, dtype=np.uint64),
-                len(new_keys),
-            )
-            return
-
-        for _ in range(self.config.max_reconstruct_attempts):
-            self._table.clear()
-            self._assistant.clear()
-            try:
-                # One vectorised hashing pass per seed attempt feeds the
-                # flat-array peel directly.
-                static_build_arrays(
-                    self._table,
-                    self._assistant,
-                    all_keys,
-                    all_values,
-                    [
-                        arr.tolist()
-                        for arr in self._hashes.indices_batch(key_array)
-                    ],
-                    hooks=self._hooks,
+        snapshot = self._snapshot_state()
+        try:
+            if hasattr(self._engine, "bulk_load_arrays"):
+                # The vector engine peels directly over flat arrays,
+                # skipping the per-key cells-tuple materialisation
+                # entirely.
+                self._engine.bulk_load_arrays(
+                    self,
+                    key_array,
+                    np.array(all_values, dtype=np.uint64),
+                    len(new_keys),
                 )
-            except UpdateFailure:
-                self._stats.update_failures += 1
-                self._stats.reconstructions += 1
-                self._seed += 1
-                self._hashes = self._hashes.reseeded(self._seed)
-                continue
-            self._stats.updates += len(new_keys)
-            return
-        raise ReconstructionFailed(
-            f"static peel failed for {self.config.max_reconstruct_attempts} "
-            "seeds"
-        )
+                return
+            for _ in range(self.config.max_reconstruct_attempts):
+                self._table.clear()
+                self._assistant.clear()
+                try:
+                    # One vectorised hashing pass per seed attempt feeds
+                    # the flat-array peel directly.
+                    static_build_arrays(
+                        self._table,
+                        self._assistant,
+                        all_keys,
+                        all_values,
+                        [
+                            arr.tolist()
+                            for arr in self._hashes.indices_batch(key_array)
+                        ],
+                        hooks=self._hooks,
+                    )
+                except UpdateFailure:
+                    self._stats.update_failures += 1
+                    self._stats.reconstructions += 1
+                    self._seed += 1
+                    self._hashes = self._hashes.reseeded(self._seed)
+                    continue
+                self._stats.updates += len(new_keys)
+                return
+            raise ReconstructionFailed(
+                f"static peel failed for "
+                f"{self.config.max_reconstruct_attempts} seeds"
+            )
+        except BaseException:
+            # All-or-nothing: a stalled peel (or a fault mid-build)
+            # rewinds cells, assistant entries, and seed — the table
+            # never stays in the cleared intermediate state.
+            self._restore_state(snapshot)
+            raise
 
     # ------------------------------------------------------------------
     # Update machinery
@@ -489,9 +529,13 @@ class VisionEmbedder(ValueOnlyTable):
             self._stats.repair_steps += failure.steps
             self._handle_failure()
             return
-        plan.apply(self._table)
+        # Counters first, apply last: once the plan lands there is no
+        # further statement a fault could interrupt between the table
+        # mutation and this function's return (the apply itself undoes
+        # an interrupted cell loop — see UpdatePlan.apply).
         self._updates_counter.value += 1
         self._repair_steps_counter.value += plan.steps
+        plan.apply(self._table)
 
     def _handle_failure(self) -> None:
         """Apply the paper's failure policy (§IV-B "Update Failure")."""
@@ -510,6 +554,8 @@ class VisionEmbedder(ValueOnlyTable):
             )
         self.reconstruct()
 
+    # repro: atomic
+    # repro: raises(ValueError, ReconstructionFailed)
     def reconstruct(self, method: str = "dynamic") -> None:
         """Reseed all hash functions and rebuild both tables (§IV-C).
 
@@ -533,6 +579,7 @@ class VisionEmbedder(ValueOnlyTable):
             keys.append(key)
             values.append(value)
         key_array = np.array(keys, dtype=np.uint64)
+        snapshot = self._snapshot_state()
         started = time.perf_counter()
         self._in_reconstruct = True
         succeeded = False
@@ -570,6 +617,13 @@ class VisionEmbedder(ValueOnlyTable):
                 f"no working seed within {self.config.max_reconstruct_attempts} "
                 "reconstruction attempts"
             )
+        except BaseException:
+            # All-or-nothing: an exhausted retry budget (or a fault
+            # mid-rebuild) rewinds cells, assistant entries, and seed to
+            # the pre-reconstruct state instead of leaving a cleared
+            # half-rebuilt table behind.
+            self._restore_state(snapshot)
+            raise
         finally:
             self._in_reconstruct = False
             elapsed = time.perf_counter() - started
@@ -609,6 +663,48 @@ class VisionEmbedder(ValueOnlyTable):
             plan.apply(self._table)
             self._repair_steps_counter.value += plan.steps
         return True
+
+    # ------------------------------------------------------------------
+    # Rollback machinery (the strong exception guarantee)
+    # ------------------------------------------------------------------
+
+    def _snapshot_state(
+        self,
+    ) -> Tuple[int, npt.NDArray[np.uint64], List[Tuple[int, int]]]:
+        """Capture ``(seed, dense cells, assistant pairs)`` for rollback.
+
+        Everything bit-equality is judged on: the XOR planes as one dense
+        array, the registered pairs, and the hash seed (a reconstruction
+        mid-operation bumps it; rolling back must rewind it too).
+        """
+        return (
+            self._seed,
+            self._table.to_dense(),
+            list(self._assistant.pairs()),
+        )
+
+    def _restore_state(
+        self,
+        snapshot: Tuple[int, npt.NDArray[np.uint64], List[Tuple[int, int]]],
+    ) -> None:
+        """Rewind to a :meth:`_snapshot_state` snapshot bit-for-bit."""
+        seed, dense, pairs = snapshot
+        if self._seed != seed:
+            self._seed = seed
+            self._hashes = self._hashes.reseeded(seed)
+        self._table.load_dense(dense)
+        self._assistant.clear()
+        if pairs:
+            handles = np.array([key for key, _ in pairs], dtype=np.uint64)
+            index_cols = [
+                arr.tolist() for arr in self._hashes.indices_batch(handles)
+            ]
+            for i, (key, value) in enumerate(pairs):
+                self._assistant.add(
+                    key, value,
+                    tuple((j, index_cols[j][i])
+                          for j in range(self.num_arrays)),
+                )
 
     # ------------------------------------------------------------------
     # Introspection used by tests

@@ -39,3 +39,25 @@ class KeyNotFound(ReproError, KeyError):
 
 class DuplicateKey(ReproError, ValueError):
     """``insert`` was called for a key that is already present."""
+
+
+class CorruptSnapshotError(ReproError, ValueError):
+    """A persisted snapshot could not be read back (truncated file, a
+    missing npz member, or a malformed field).
+
+    ``source`` names the file (or file-like) being loaded and ``field``
+    the npz member / metadata key that failed, so operators can tell a
+    truncated upload from a wrong-version snapshot at a glance. Derives
+    from :class:`ValueError` so callers that guarded the old raw
+    ``ValueError`` keep working.
+    """
+
+    def __init__(self, message: str, source: str = "",
+                 field: str = "") -> None:
+        detail = message
+        if source:
+            detail = f"{detail} (source: {source}"
+            detail += f", field: {field})" if field else ")"
+        super().__init__(detail)
+        self.source = source
+        self.field = field

@@ -11,24 +11,95 @@ A :class:`~repro.core.sharded.ShardedEmbedder` round-trips through
 sharded geometry plus one embedded per-shard payload in exactly the
 single-table format above, so every shard's fast space is restored
 byte-for-byte (including any seed bumps its reconstructions made).
+
+Corrupt inputs — truncated archives, missing ``.npz`` members, malformed
+or short metadata vectors — surface as
+:class:`~repro.core.errors.CorruptSnapshotError`, a ``ValueError``
+subclass carrying the offending ``source`` and ``field`` so operators
+can tell a bad upload from a version skew at a glance.
 """
 
 from __future__ import annotations
 
 import io
 import os
-from typing import Union
+import zipfile
+from typing import Any, Dict, List, Union, cast
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.config import DepthPolicy, EmbedderConfig
 from repro.core.embedder import VisionEmbedder
+from repro.core.errors import CorruptSnapshotError
 from repro.core.sharded import ShardedEmbedder
 
 _FORMAT_VERSION = 1
 _SHARDED_FORMAT_VERSION = 1
 
-PathOrFile = Union[str, os.PathLike, io.IOBase]
+PathOrFile = Union[str, "os.PathLike[str]", io.IOBase]
+
+#: what ``np.load`` raises on a truncated, non-zip, or half-written file.
+_OPEN_FAILURES = (zipfile.BadZipFile, OSError, EOFError, ValueError)
+
+
+def _source_label(source: PathOrFile) -> str:
+    """A human-readable name for the thing being loaded."""
+    if isinstance(source, (str, os.PathLike)):
+        return os.fspath(source)
+    name = getattr(source, "name", "")
+    if isinstance(name, str) and name:
+        return name
+    return f"<{type(source).__name__}>"
+
+
+def _open_archive(source: PathOrFile, label: str) -> Any:
+    try:
+        return np.load(cast(Any, source))
+    except _OPEN_FAILURES as exc:
+        raise CorruptSnapshotError(
+            f"cannot read snapshot archive: {exc}", source=label
+        ) from exc
+
+
+def _member(archive: Any, name: str, label: str) -> npt.NDArray[Any]:
+    """One named array out of the archive, or a typed corruption error.
+
+    ``KeyError`` means the member is absent; the zip/OS errors mean the
+    member's compressed stream itself is truncated or unreadable.
+    """
+    try:
+        member = archive[name]
+    except (KeyError, IndexError, *_OPEN_FAILURES) as exc:
+        raise CorruptSnapshotError(
+            "snapshot archive is missing or cannot decode a member",
+            source=label, field=name,
+        ) from exc
+    return np.asarray(member)
+
+
+def _meta_int(
+    meta: npt.NDArray[Any], index: int, field: str, label: str
+) -> int:
+    try:
+        return int(meta[index])
+    except (IndexError, TypeError, ValueError) as exc:
+        raise CorruptSnapshotError(
+            f"metadata vector is too short or malformed at slot {index}",
+            source=label, field=field,
+        ) from exc
+
+
+def _meta_float(
+    meta: npt.NDArray[Any], index: int, field: str, label: str
+) -> float:
+    try:
+        return float(meta[index])
+    except (IndexError, TypeError, ValueError) as exc:
+        raise CorruptSnapshotError(
+            f"metadata vector is too short or malformed at slot {index}",
+            source=label, field=field,
+        ) from exc
 
 
 def save_embedder(table: VisionEmbedder, target: PathOrFile) -> None:
@@ -67,13 +138,9 @@ def save_embedder(table: VisionEmbedder, target: PathOrFile) -> None:
         [config.space_factor, config.reconstruct_efficiency_limit],
         dtype=np.float64,
     )
-    fast_space = table._table
-    dense = (
-        fast_space.to_dense() if hasattr(fast_space, "to_dense")
-        else fast_space._cells
-    )
+    dense = table._table.to_dense()
     np.savez(
-        target,
+        cast(Any, target),
         meta=meta,
         float_meta=float_meta,
         cells=dense,
@@ -82,55 +149,80 @@ def save_embedder(table: VisionEmbedder, target: PathOrFile) -> None:
     )
 
 
+# repro: raises(CorruptSnapshotError, ValueError, TypeError)
 def load_embedder(source: PathOrFile) -> VisionEmbedder:
     """Rebuild a VisionEmbedder written by :func:`save_embedder`.
 
     The fast space is restored byte-for-byte (no re-insertion, no repair
     walks); assistant-table cell sets are recomputed from the stored seed.
+    Truncated or malformed inputs raise :class:`CorruptSnapshotError`.
     """
-    with np.load(source) as archive:
-        meta = archive["meta"]
-        float_meta = archive["float_meta"]
-        cells = archive["cells"]
-        keys = archive["keys"]
-        values = archive["values"]
+    label = _source_label(source)
+    with _open_archive(source, label) as archive:
+        meta = _member(archive, "meta", label)
+        float_meta = _member(archive, "float_meta", label)
+        cells = _member(archive, "cells", label)
+        keys = _member(archive, "keys", label)
+        values = _member(archive, "values", label)
 
-    version = int(meta[0])
+    version = _meta_int(meta, 0, "meta.version", label)
     if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported format version {version}")
+        raise CorruptSnapshotError(
+            f"unsupported format version {version}",
+            source=label, field="meta.version",
+        )
     config = EmbedderConfig(
-        space_factor=float(float_meta[0]),
-        strategy="vision" if int(meta[9]) else "simple",
+        space_factor=_meta_float(float_meta, 0, "float_meta.space_factor",
+                                 label),
+        strategy="vision" if _meta_int(meta, 9, "meta.strategy", label)
+        else "simple",
         depth_policy=DepthPolicy(),
-        max_repair_steps=int(meta[5]),
-        max_search_attempts=int(meta[6]),
-        reconstruct_efficiency_limit=float(float_meta[1]),
-        max_reconstruct_attempts=int(meta[7]),
-        auto_reconstruct=bool(int(meta[8])),
+        max_repair_steps=_meta_int(meta, 5, "meta.max_repair_steps", label),
+        max_search_attempts=_meta_int(meta, 6, "meta.max_search_attempts",
+                                      label),
+        reconstruct_efficiency_limit=_meta_float(
+            float_meta, 1, "float_meta.reconstruct_efficiency_limit", label
+        ),
+        max_reconstruct_attempts=_meta_int(
+            meta, 7, "meta.max_reconstruct_attempts", label
+        ),
+        auto_reconstruct=bool(_meta_int(meta, 8, "meta.auto_reconstruct",
+                                        label)),
     )
     packed = bool(int(meta[10])) if len(meta) > 10 else False
     table = VisionEmbedder(
-        capacity=int(meta[1]),
-        value_bits=int(meta[2]),
+        capacity=_meta_int(meta, 1, "meta.capacity", label),
+        value_bits=_meta_int(meta, 2, "meta.value_bits", label),
         config=config,
-        seed=int(meta[4]),
-        num_arrays=int(meta[3]),
+        seed=_meta_int(meta, 4, "meta.seed", label),
+        num_arrays=_meta_int(meta, 3, "meta.num_arrays", label),
         packed=packed,
     )
     expected_shape = (table.num_arrays, table._table.width)
     if cells.shape != expected_shape:
-        raise ValueError(
-            "stored fast space does not match the reconstructed geometry"
+        raise CorruptSnapshotError(
+            "stored fast space does not match the reconstructed geometry "
+            f"(got {cells.shape}, expected {expected_shape})",
+            source=label, field="cells",
+        )
+    if keys.shape != values.shape:
+        raise CorruptSnapshotError(
+            "key and value arrays disagree in length "
+            f"({keys.shape} vs {values.shape})",
+            source=label, field="keys",
         )
     # The stored cells already satisfy every equation the assistant
     # re-derives below, so the verbatim restore cannot break the invariant.
     table._table.load_dense(cells.astype(np.uint64))  # repro: noqa[R101] -- persisted fast space restored verbatim
     # Recompute every key's cells in one vectorised pass and bulk-register.
     num_arrays = table.num_arrays
-    index_cols = [arr.tolist() for arr in table._hashes.indices_batch(keys)]
+    key_array = keys.astype(np.uint64)
+    index_cols = [
+        arr.tolist() for arr in table._hashes.indices_batch(key_array)
+    ]
     table._assistant.add_batch(
-        keys.tolist(),
-        values.tolist(),
+        key_array.tolist(),
+        values.astype(np.uint64).tolist(),
         [
             tuple((j, index_cols[j][i]) for j in range(num_arrays))
             for i in range(len(keys))
@@ -160,7 +252,7 @@ def save_sharded(table: ShardedEmbedder, target: PathOrFile) -> None:
         dtype=np.int64,
     )
     float_meta = np.array([table.shard_slack], dtype=np.float64)
-    payloads = {}
+    payloads: Dict[str, npt.NDArray[np.uint8]] = {}
     for index, shard in enumerate(table.shards):
         buffer = io.BytesIO()
         save_embedder(shard, buffer)
@@ -168,40 +260,53 @@ def save_sharded(table: ShardedEmbedder, target: PathOrFile) -> None:
             buffer.getvalue(), dtype=np.uint8
         )
     np.savez(
-        target, sharded_meta=meta, sharded_float_meta=float_meta, **payloads
+        cast(Any, target),
+        sharded_meta=meta,
+        sharded_float_meta=float_meta,
+        **payloads,
     )
 
 
+# repro: raises(CorruptSnapshotError, ValueError, TypeError)
 def load_sharded(source: PathOrFile) -> ShardedEmbedder:
     """Rebuild a :class:`ShardedEmbedder` written by :func:`save_sharded`.
 
     Every shard's fast space is restored byte-for-byte through
     :func:`load_embedder`; the shard router is rebuilt from the stored
     master seed, so each restored key routes to the shard it was saved in.
+    Truncated or malformed inputs raise :class:`CorruptSnapshotError`.
     """
-    with np.load(source) as archive:
-        meta = archive["sharded_meta"]
-        float_meta = archive["sharded_float_meta"]
-        version = int(meta[0])
+    label = _source_label(source)
+    with _open_archive(source, label) as archive:
+        meta = _member(archive, "sharded_meta", label)
+        float_meta = _member(archive, "sharded_float_meta", label)
+        version = _meta_int(meta, 0, "sharded_meta.version", label)
         if version != _SHARDED_FORMAT_VERSION:
-            raise ValueError(f"unsupported sharded format version {version}")
-        num_shards = int(meta[1])
-        payloads = []
+            raise CorruptSnapshotError(
+                f"unsupported sharded format version {version}",
+                source=label, field="sharded_meta.version",
+            )
+        num_shards = _meta_int(meta, 1, "sharded_meta.num_shards", label)
+        if num_shards <= 0:
+            raise CorruptSnapshotError(
+                f"shard count must be positive, got {num_shards}",
+                source=label, field="sharded_meta.num_shards",
+            )
+        payloads: List[bytes] = []
         for index in range(num_shards):
             name = f"shard_{index}"
-            if name not in archive:
-                raise ValueError(f"archive is missing shard payload {name!r}")
-            payloads.append(archive[name].tobytes())
+            payloads.append(_member(archive, name, label).tobytes())
     shards = [load_embedder(io.BytesIO(payload)) for payload in payloads]
     table = ShardedEmbedder(
-        capacity=int(meta[2]),
-        value_bits=int(meta[3]),
+        capacity=_meta_int(meta, 2, "sharded_meta.capacity", label),
+        value_bits=_meta_int(meta, 3, "sharded_meta.value_bits", label),
         num_shards=num_shards,
         config=shards[0].config,
-        seed=int(meta[6]),
-        shard_slack=float(float_meta[0]),
-        num_arrays=int(meta[4]),
-        packed=bool(int(meta[5])),
+        seed=_meta_int(meta, 6, "sharded_meta.seed", label),
+        shard_slack=_meta_float(float_meta, 0,
+                                "sharded_float_meta.shard_slack", label),
+        num_arrays=_meta_int(meta, 4, "sharded_meta.num_arrays", label),
+        packed=bool(_meta_int(meta, 5, "sharded_meta.packed", label)),
     )
     table._shards = shards
     return table

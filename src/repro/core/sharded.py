@@ -231,6 +231,7 @@ class ShardedEmbedder(ValueOnlyTable):
         h ^= h >> 33
         return h % self.num_shards
 
+    # repro: raises(ValueError, TypeError)
     def shard_of(self, key: Key) -> int:
         """The shard index ``key`` routes to (stable for the table's life)."""
         return self._shard_of_handle(key_to_u64(key))
@@ -358,6 +359,7 @@ class ShardedEmbedder(ValueOnlyTable):
         handle = key_to_u64(key)
         return handle in self._shards[self._shard_of_handle(handle)]
 
+    # repro: raises(ValueError, TypeError)
     def lookup(self, key: Key) -> int:  # repro: hotpath
         """Route to the owning shard's three-read XOR lookup — O(1)."""
         handle = key_to_u64(key)
@@ -393,25 +395,34 @@ class ShardedEmbedder(ValueOnlyTable):
         out[order] = answers
         return out
 
+    # repro: raises(DuplicateKey, ValueError, TypeError, UpdateFailure)
+    # repro: raises(SpaceExhausted, ReconstructionFailed)
     def insert(self, key: Key, value: int) -> None:
         """Insert into the owning shard (dynamic update per §IV)."""
         handle = key_to_u64(key)
         self._shards[self._shard_of_handle(handle)].insert(handle, value)
 
+    # repro: raises(KeyNotFound, ValueError, TypeError, UpdateFailure)
+    # repro: raises(SpaceExhausted, ReconstructionFailed)
     def update(self, key: Key, value: int) -> None:
         """Update inside the owning shard."""
         handle = key_to_u64(key)
         self._shards[self._shard_of_handle(handle)].update(handle, value)
 
+    # repro: raises(KeyNotFound, ValueError, TypeError)
     def delete(self, key: Key) -> None:
         """Delete from the owning shard (slow-space only, per §IV-C)."""
         handle = key_to_u64(key)
         self._shards[self._shard_of_handle(handle)].delete(handle)
 
+    # repro: raises(DuplicateKey, ValueError, TypeError, UpdateFailure)
+    # repro: raises(SpaceExhausted, ReconstructionFailed)
     def insert_many(self, pairs: Iterable[Tuple[Key, int]]) -> None:
         """Partitioned batch insert (sequential shards; see :meth:`build`)."""
         self.build(pairs, workers=1)
 
+    # repro: raises(DuplicateKey, ValueError, TypeError, UpdateFailure)
+    # repro: raises(SpaceExhausted, ReconstructionFailed)
     def insert_batch(
         self, keys: Iterable[Key], values: Iterable[int]
     ) -> None:
@@ -422,6 +433,8 @@ class ShardedEmbedder(ValueOnlyTable):
             raise ValueError("keys and values must align")
         self.build(zip(key_list, value_list), workers=1)
 
+    # repro: raises(DuplicateKey, ValueError, TypeError)
+    # repro: raises(ReconstructionFailed)
     def bulk_load(self, pairs: Iterable[Tuple[Key, int]]) -> None:
         """Partitioned static build: one O(n/S) peel per shard."""
         self.build(pairs, workers=1, method="static")
@@ -430,6 +443,8 @@ class ShardedEmbedder(ValueOnlyTable):
     # Parallel build
     # ------------------------------------------------------------------
 
+    # repro: raises(DuplicateKey, ValueError, TypeError, UpdateFailure)
+    # repro: raises(SpaceExhausted, ReconstructionFailed)
     def build(
         self,
         pairs: Iterable[Tuple[Key, int]],

@@ -405,10 +405,23 @@ class UpdatePlan:
     v_delta: int
     steps: int
 
+    # repro: atomic
     def apply(self, table: ValueTable) -> None:
-        """XOR ``v_delta`` into every cell on the path."""
-        for cell in self.path:
-            table.xor(cell, self.v_delta)
+        """XOR ``v_delta`` into every cell on the path — all or nothing.
+
+        XOR is self-inverse, so an exception mid-loop (a fault injected
+        between cells) is undone by re-XORing the already-applied prefix
+        before re-raising: the table is never left partially applied.
+        """
+        applied: List[Cell] = []
+        try:
+            for cell in self.path:
+                table.xor(cell, self.v_delta)
+                applied.append(cell)
+        except BaseException:
+            for cell in applied:
+                table.xor(cell, self.v_delta)
+            raise
 
 
 def _run_repair_walk(  # repro: hotpath

@@ -24,6 +24,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.serve.protocol import (
     ProtocolError,
+    ServeProtocolError,
     dump_json,
     exception_from,
     read_http_response,
@@ -42,6 +43,34 @@ def _pairs_body(pairs: Iterable[Tuple[JsonKey, int]]) -> Dict[str, Any]:
         keys.append(key)
         values.append(int(value))
     return {"keys": keys, "values": values}
+
+
+def _field_list(response: Any, name: str) -> List[Any]:
+    """``response[name]`` as a list, or :class:`ServeProtocolError`.
+
+    A success response missing its documented field (or carrying the
+    wrong shape) means the server speaks a different protocol version —
+    surface that as the typed drift error, not a bare ``KeyError``.
+    """
+    if not isinstance(response, dict) or not isinstance(
+        response.get(name), list
+    ):
+        raise ServeProtocolError(
+            f'server response is missing the "{name}" array'
+        )
+    return list(response[name])
+
+
+def _field_int(response: Any, name: str) -> int:
+    """``response[name]`` as an int, or :class:`ServeProtocolError`."""
+    if not isinstance(response, dict):
+        raise ServeProtocolError("server response is not a JSON object")
+    value = response.get(name)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServeProtocolError(
+            f'server response is missing the integer "{name}" field'
+        )
+    return value
 
 
 def _decode(status: int, content_type: str, body: bytes) -> Any:
@@ -135,22 +164,22 @@ class AsyncServeClient:
         """Batched lookup; value-only semantics (alien keys answer noise)."""
         response = await self._request(
             "POST", "/v1/lookup", {"keys": list(keys)})
-        return list(response["values"])
+        return _field_list(response, "values")
 
     async def insert(self, pairs: Iterable[Tuple[JsonKey, int]]) -> int:
         response = await self._request(
             "POST", "/v1/insert", _pairs_body(pairs))
-        return int(response["inserted"])
+        return _field_int(response, "inserted")
 
     async def update(self, pairs: Iterable[Tuple[JsonKey, int]]) -> int:
         response = await self._request(
             "POST", "/v1/update", _pairs_body(pairs))
-        return int(response["updated"])
+        return _field_int(response, "updated")
 
     async def delete(self, keys: Sequence[JsonKey]) -> int:
         response = await self._request(
             "POST", "/v1/delete", {"keys": list(keys)})
-        return int(response["deleted"])
+        return _field_int(response, "deleted")
 
     # -- operational endpoints -----------------------------------------
 
@@ -219,27 +248,27 @@ class ServeClient:
     # -- table operations ----------------------------------------------
 
     def lookup(self, keys: Sequence[JsonKey]) -> List[int]:
-        return list(
-            self._request("POST", "/v1/lookup", {"keys": list(keys)})
-            ["values"]
+        return _field_list(
+            self._request("POST", "/v1/lookup", {"keys": list(keys)}),
+            "values",
         )
 
     def insert(self, pairs: Iterable[Tuple[JsonKey, int]]) -> int:
-        return int(
-            self._request("POST", "/v1/insert", _pairs_body(pairs))
-            ["inserted"]
+        return _field_int(
+            self._request("POST", "/v1/insert", _pairs_body(pairs)),
+            "inserted",
         )
 
     def update(self, pairs: Iterable[Tuple[JsonKey, int]]) -> int:
-        return int(
-            self._request("POST", "/v1/update", _pairs_body(pairs))
-            ["updated"]
+        return _field_int(
+            self._request("POST", "/v1/update", _pairs_body(pairs)),
+            "updated",
         )
 
     def delete(self, keys: Sequence[JsonKey]) -> int:
-        return int(
-            self._request("POST", "/v1/delete", {"keys": list(keys)})
-            ["deleted"]
+        return _field_int(
+            self._request("POST", "/v1/delete", {"keys": list(keys)}),
+            "deleted",
         )
 
     # -- operational endpoints -----------------------------------------

@@ -35,14 +35,17 @@ from typing import Any, Dict, List, Optional, Tuple, Type, Union
 from repro.core.errors import (
     DuplicateKey,
     KeyNotFound,
+    ReconstructionFailed,
     ReproError,
     SpaceExhausted,
+    UpdateFailure,
 )
 from repro.serve.batcher import BatcherClosed, Overloaded
 
 __all__ = [
     "ProtocolError",
     "ServeError",
+    "ServeProtocolError",
     "dump_json",
     "error_response",
     "exception_from",
@@ -63,6 +66,9 @@ _ERROR_TABLE: Tuple[Tuple[Type[BaseException], int, str], ...] = (
     (DuplicateKey, 409, "duplicate_key"),
     (KeyNotFound, 404, "key_not_found"),
     (SpaceExhausted, 507, "space_exhausted"),
+    (ReconstructionFailed, 507, "reconstruction_failed"),
+    (UpdateFailure, 500, "update_failure"),
+    (TypeError, 400, "bad_request"),
     (ValueError, 400, "bad_request"),
 )
 
@@ -95,6 +101,20 @@ class ProtocolError(ServeError):
 
     def __init__(self, message: str, status: int = 400) -> None:
         super().__init__(message, status=status, code="bad_request")
+
+
+class ServeProtocolError(ServeError):
+    """The server spoke a dialect this client does not understand.
+
+    Raised client-side for wire error codes with no local exception type
+    and for responses missing a required field — both mean server and
+    client versions have drifted, which deserves a distinct type rather
+    than a silent ``KeyError`` or a catch-all :class:`ServeError`.
+    """
+
+    def __init__(self, message: str, status: int = 502,
+                 code: str = "protocol") -> None:
+        super().__init__(message, status=status, code=code)
 
 
 # ---------------------------------------------------------------------------
@@ -142,13 +162,25 @@ def error_response(exc: BaseException) -> Tuple[int, Dict[str, Any]]:
 
 
 def exception_from(status: int, body: Dict[str, Any]) -> BaseException:
-    """The client-side inverse: rebuild the library exception type."""
+    """The client-side inverse: rebuild the library exception type.
+
+    A recognised wire code becomes the matching library exception; the
+    server's own catch-all (``"internal"``) stays a plain
+    :class:`ServeError`; any *other* code means the server is newer (or
+    older) than this client and surfaces as
+    :class:`ServeProtocolError` so callers can tell version drift from
+    an ordinary server-side failure.
+    """
     code = body.get("error", "internal")
     detail = body.get("detail", f"HTTP {status}")
     exc_type = _CODE_TO_EXCEPTION.get(code)
     if exc_type is not None:
         return exc_type(detail)
-    return ServeError(detail, status=status, code=str(code))
+    if code == "internal":
+        return ServeError(detail, status=status, code="internal")
+    return ServeProtocolError(
+        f"unknown wire error code {code!r}: {detail}", status=status
+    )
 
 
 # ---------------------------------------------------------------------------

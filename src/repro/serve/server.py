@@ -25,10 +25,11 @@ all-or-nothing *validation* is what makes the fallback sound: a
 rejected merged call (duplicate key, bad value) applied nothing, so the
 run re-executes request by request and only the offending request
 fails (HTTP 409/400/...), exactly as if it had been served alone.
-:class:`~repro.core.errors.SpaceExhausted` is the exception — the
-table keeps the already-walked prefix, so the merged call is *not*
-retried (a retry would answer spurious 409s for keys that actually
-landed); every coalesced request gets the 507 instead. Tables without
+:class:`~repro.core.errors.SpaceExhausted` also applies nothing (the
+batch rolls itself back), but the merged call is *not* re-executed —
+per-request retries would mostly hit the same wall while repeating the
+walk work — so every coalesced request gets the 507 directly and may
+safely retry once capacity is freed. Tables without
 ``insert_batch`` insert per key with no rollback, so their requests
 are never coalesced. Updates and deletes execute per key (no batch
 primitive exists) with the same per-request isolation.
@@ -216,7 +217,7 @@ class TableServer:
         for task in list(self._conn_tasks):
             try:
                 await task
-            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001  # repro: noqa[R805] -- shutdown teardown: handlers already answered or were cancelled; nothing left to route
                 pass
         for writer in list(self._writers):
             writer.close()
@@ -390,17 +391,19 @@ class TableServer:
         """Vectorised happy path, per-request fallback on rejection.
 
         The merged fast path is taken only when the table provides
-        ``insert_batch``: its validation is all-or-nothing, so a rejected
-        merged call (duplicate key, bad value) applied nothing and each
-        request can re-execute alone with only the offender failing.
-        ``SpaceExhausted`` breaks that assumption — the table keeps the
-        already-walked prefix — so it is never blind-retried: which
-        requests' keys landed is unknowable, and a retry would answer
-        spurious ``DuplicateKey`` for committed data. Every coalesced
-        request gets the 507 instead (the table may hold a prefix of the
-        batch, same as a local ``insert_batch`` caller observes). Tables
-        without ``insert_batch`` insert per key with no rollback, so
-        their requests are never coalesced in the first place.
+        ``insert_batch``, whose contract is all-or-nothing for *every*
+        failure — validation rejections and mid-batch ``SpaceExhausted``
+        alike roll the table back to its pre-batch state. A rejected
+        merged call therefore applied nothing, and each request can
+        re-execute alone with only the offender failing.
+        ``SpaceExhausted`` is still never blind-retried: the merged batch
+        failing for space means per-request retries would mostly fail the
+        same way while doing the walk work again, so every coalesced
+        request gets the 507 directly (and, the table being rolled back,
+        a client retry later is safe — no spurious ``DuplicateKey`` for
+        half-landed keys). Tables without ``insert_batch`` insert per key
+        with no rollback, so their requests are never coalesced in the
+        first place.
         """
         if self._batch_inserter is not None and len(run) > 1:
             merged_keys: List[Any] = []

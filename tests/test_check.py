@@ -186,7 +186,8 @@ class TestR2Hotpath:
                     pass
             """
         )
-        assert rules_of(found) == ["R203"]
+        # the bare silent swallow now also trips the R805 lifecycle rule
+        assert rules_of(found) == ["R203", "R805"]
 
     def test_typed_except_allowed(self):
         found = run(

@@ -1,0 +1,253 @@
+"""R80x — interprocedural exception contracts, error-table exhaustiveness,
+and atomic-rollback discipline (repro.check.rules_exceptions)."""
+
+import textwrap
+
+from repro.check import check_source, check_sources
+
+
+def run(source, rel="repro/core/embedder.py"):
+    return check_source(textwrap.dedent(source), rel)
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+class TestR801Contracts:
+    def test_undeclared_escape_flagged(self):
+        found = run(
+            """
+            def lookup(table, key):
+                if key < 0:
+                    raise ValueError("negative key")
+                return table.get(key)
+            """
+        )
+        assert rules_of(found) == ["R801"]
+        assert "ValueError" in found[0].message
+        assert "raise ValueError in lookup" in found[0].message
+
+    def test_declared_contract_clean(self):
+        found = run(
+            """
+            # repro: raises(ValueError)
+            def lookup(table, key):
+                if key < 0:
+                    raise ValueError("negative key")
+                return table.get(key)
+            """
+        )
+        assert found == []
+
+    def test_declared_base_class_covers_subclass(self):
+        found = run(
+            """
+            # repro: raises(LookupError)
+            def lookup(table, key):
+                if key not in table:
+                    raise KeyError(key)
+                return table[key]
+            """
+        )
+        assert found == []
+
+    def test_stacked_raises_pragmas_union(self):
+        found = run(
+            """
+            # repro: raises(ValueError)
+            # repro: raises(KeyError)
+            def lookup(table, key):
+                if key < 0:
+                    raise ValueError("negative key")
+                if key not in table:
+                    raise KeyError(key)
+                return table[key]
+            """
+        )
+        assert found == []
+
+    def test_interprocedural_escape_carries_witness_chain(self):
+        found = run(
+            """
+            def _validate(key):
+                if key < 0:
+                    raise ValueError("negative key")
+
+            def lookup(table, key):
+                _validate(key)
+                return table.get(key)
+            """
+        )
+        assert rules_of(found) == ["R801"]
+        assert "_validate() at" in found[0].message
+        assert "raise ValueError in _validate" in found[0].message
+
+    def test_caught_exception_does_not_escape(self):
+        found = run(
+            """
+            def lookup(table, key):
+                try:
+                    return table[key]
+                except KeyError:
+                    return None
+
+            def __getitem_helper(table, key):
+                raise KeyError(key)
+            """
+        )
+        assert found == []
+
+    def test_noqa_on_raise_site_sanctions_pathway(self):
+        found = run(
+            """
+            def lookup(table, key):
+                if key < 0:
+                    raise ValueError("negative")  # repro: noqa[R801] -- documented precondition, not part of the contract
+                return table.get(key)
+            """
+        )
+        assert found == []
+
+    def test_private_function_not_checked(self):
+        found = run(
+            """
+            def _probe(table, key):
+                raise ValueError("internal")
+            """
+        )
+        assert found == []
+
+    def test_non_contract_module_not_checked(self):
+        found = run(
+            """
+            def lookup(table, key):
+                raise ValueError("anywhere")
+            """,
+            rel="repro/analysis/tool.py",
+        )
+        assert found == []
+
+    def test_empty_raises_pragma_is_r002(self):
+        found = run(
+            """
+            # repro: raises()
+            def lookup(table, key):
+                return table.get(key)
+            """
+        )
+        assert rules_of(found) == ["R002"]
+
+
+class TestR802ErrorTable:
+    PROTOCOL = "repro/serve/protocol.py"
+
+    def test_unmapped_wire_escape_flagged(self):
+        found = check_sources({
+            self.PROTOCOL: (
+                "_ERROR_TABLE = (\n"
+                "    (ValueError, 400, \"bad_request\"),\n"
+                ")\n"
+            ),
+            "repro/core/tables.py": (
+                "class VisionEmbedder:\n"
+                "    def insert(self, key, value):\n"
+                "        raise SpaceExhausted(\"full\")\n"
+            ),
+        })
+        assert rules_of(found) == ["R802"]
+        assert "SpaceExhausted" in found[0].message
+        assert found[0].path == self.PROTOCOL
+
+    def test_mapped_wire_escape_clean(self):
+        found = check_sources({
+            self.PROTOCOL: (
+                "_ERROR_TABLE = (\n"
+                "    (SpaceExhausted, 507, \"space_exhausted\"),\n"
+                "    (ValueError, 400, \"bad_request\"),\n"
+                ")\n"
+            ),
+            "repro/core/tables.py": (
+                "class VisionEmbedder:\n"
+                "    def insert(self, key, value):\n"
+                "        raise SpaceExhausted(\"full\")\n"
+            ),
+        })
+        assert found == []
+
+    def test_serve_error_subclasses_implicitly_mapped(self):
+        # ServeError carries its own status/code; subclasses need no
+        # table entry (error_response handles them before the table).
+        found = check_sources({
+            self.PROTOCOL: (
+                "_ERROR_TABLE = (\n"
+                "    (ValueError, 400, \"bad_request\"),\n"
+                ")\n"
+                "class ServeError(Exception):\n"
+                "    pass\n"
+                "class Overloaded(ServeError):\n"
+                "    pass\n"
+            ),
+            "repro/core/tables.py": (
+                "class VisionEmbedder:\n"
+                "    def insert(self, key, value):\n"
+                "        raise Overloaded(\"queue full\")\n"
+            ),
+        })
+        assert found == []
+
+
+class TestR803AtomicRollback:
+    def test_seeded_bug_rollback_deleted_flagged(self):
+        # The canonical seeded bug: strip the rollback from an atomic
+        # function — exactly R803 must fire, nothing else.
+        found = run(
+            """
+            # repro: atomic
+            def apply(table, value):
+                table.xor((0, 1), value)
+                raise ValueError("update failed")
+            """,
+            rel="repro/core/update.py",
+        )
+        assert rules_of(found) == ["R803"]
+        assert "apply" in found[0].message
+        assert "ValueError" in found[0].message
+
+    def test_rollback_on_exception_edge_clean(self):
+        found = run(
+            """
+            # repro: atomic
+            def apply(table, value):
+                try:
+                    table.xor((0, 1), value)
+                except BaseException:
+                    table.xor((0, 1), value)
+                    raise
+                raise ValueError("update failed")
+            """,
+            rel="repro/core/update.py",
+        )
+        assert found == []
+
+    def test_no_escape_is_trivially_atomic(self):
+        found = run(
+            """
+            # repro: atomic
+            def apply(table, value):
+                table.xor((0, 1), value)
+            """,
+            rel="repro/core/update.py",
+        )
+        assert found == []
+
+    def test_non_atomic_function_not_checked(self):
+        found = run(
+            """
+            def apply(table, value):
+                table.xor((0, 1), value)
+                raise ValueError("update failed")
+            """,
+            rel="repro/core/update.py",
+        )
+        assert found == []

@@ -1,0 +1,161 @@
+"""R804/R805 — OS-resource lifecycle and corruption-swallow rules
+(repro.check.rules_resources)."""
+
+import textwrap
+
+from repro.check import check_source
+
+
+def run(source, rel="repro/other/module.py"):
+    return check_source(textwrap.dedent(source), rel)
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+class TestR804ResourceLifecycle:
+    def test_unclosed_binding_flagged(self):
+        found = run(
+            """
+            def fetch(host, port):
+                conn = HTTPConnection(host, port)
+                return conn
+            """
+        )
+        assert rules_of(found) == ["R804"]
+        assert "conn" in found[0].message
+
+    def test_unbound_acquisition_flagged(self):
+        found = run(
+            """
+            def slurp(path):
+                return open(path).read()
+            """
+        )
+        assert rules_of(found) == ["R804"]
+        assert "not bound" in found[0].message
+
+    def test_with_managed_clean(self):
+        found = run(
+            """
+            def slurp(path):
+                with open(path) as handle:
+                    return handle.read()
+            """
+        )
+        assert found == []
+
+    def test_binding_with_closer_elsewhere_clean(self):
+        found = run(
+            """
+            class Client:
+                def connect(self, host, port):
+                    self._conn = HTTPConnection(host, port)
+
+                def close(self):
+                    self._conn.close()
+            """
+        )
+        assert found == []
+
+    def test_executor_shutdown_counts_as_closer(self):
+        found = run(
+            """
+            class Pool:
+                def start(self):
+                    self._pool = ThreadPoolExecutor(4)
+
+                def stop(self):
+                    self._pool.shutdown()
+            """
+        )
+        assert found == []
+
+    def test_noqa_sanctions_handoff(self):
+        found = run(
+            """
+            def acquire(path):
+                handle = open(path)  # repro: noqa[R804] -- ownership handed to the caller, which closes it
+                return handle
+            """
+        )
+        assert found == []
+
+
+class TestR805CorruptionSwallow:
+    def test_silent_corruption_swallow_flagged(self):
+        found = run(
+            """
+            def load(path):
+                try:
+                    return parse(path)
+                except ReconstructionFailed:
+                    pass
+            """
+        )
+        assert rules_of(found) == ["R805"]
+        assert "ReconstructionFailed" in found[0].message
+
+    def test_blanket_exception_swallow_flagged(self):
+        found = run(
+            """
+            def load(path):
+                try:
+                    return parse(path)
+                except Exception:
+                    pass
+            """
+        )
+        assert rules_of(found) == ["R805"]
+
+    def test_logging_handler_clean(self):
+        found = run(
+            """
+            def load(path, log):
+                try:
+                    return parse(path)
+                except ReconstructionFailed as exc:
+                    log.warning("reconstruction failed: %s", exc)
+                    return None
+            """
+        )
+        assert found == []
+
+    def test_recording_handler_clean(self):
+        # assigning the exception somewhere counts as handling
+        found = run(
+            """
+            def load(path, task):
+                try:
+                    return parse(path)
+                except Exception as exc:
+                    task.error = exc
+            """
+        )
+        assert found == []
+
+    def test_narrow_handler_not_checked(self):
+        found = run(
+            """
+            def load(mapping, key):
+                try:
+                    return mapping[key]
+                except KeyError:
+                    pass
+            """
+        )
+        assert found == []
+
+    def test_noqa_sanctions_teardown(self):
+        found = run(
+            """
+            def teardown(tasks):
+                for task in tasks:
+                    try:
+                        task.cancel()
+                    except Exception:  # repro: noqa[R805] -- teardown drain: every task already answered
+                        pass
+            """
+        )
+        assert found == []

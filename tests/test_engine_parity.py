@@ -214,8 +214,9 @@ class TestCrossBackendSingleKeyOps:
 
 class TestBatchSemantics:
     def test_space_exhausted_aborts_cleanly(self):
-        """A SpaceExhausted mid-batch keeps the table consistent: the
-        peeled subset plus the walked remainder prefix stay inserted."""
+        """A SpaceExhausted mid-batch rolls the whole batch back: the
+        table is bit-equal to its pre-batch state (strong exception
+        guarantee), not left holding a walked prefix."""
         table = VisionEmbedder(
             30, 8, seed=1,
             config=EmbedderConfig(
@@ -223,14 +224,34 @@ class TestBatchSemantics:
             ),
         )
         keys, values = _workload(40, 8, seed=2)
+        baseline = table._table.copy()
+        baseline_pairs = sorted(table._assistant.pairs())
         with pytest.raises(SpaceExhausted):
             table.insert_batch(keys, values)
         table.check_invariants()
-        inserted = [k for k in keys if k in table]
-        assert 0 < len(inserted) < len(keys)
-        for key, value in zip(keys, values):
-            if key in table:
-                assert table.lookup(key) == value
+        assert table._table == baseline
+        assert sorted(table._assistant.pairs()) == baseline_pairs
+        assert len(table) == 0
+        assert not any(k in table for k in keys)
+
+    def test_space_exhausted_rollback_scalar_backend(self):
+        """Same strong guarantee on the scalar engine: a mid-batch
+        SpaceExhausted leaves the table bit-equal to pre-batch."""
+        table = VisionEmbedder(
+            30, 8, seed=1,
+            config=EmbedderConfig(
+                backend="scalar", reconstruct_efficiency_limit=0.3,
+            ),
+        )
+        keys, values = _workload(40, 8, seed=2)
+        baseline = table._table.copy()
+        baseline_pairs = sorted(table._assistant.pairs())
+        with pytest.raises(SpaceExhausted):
+            table.insert_batch(keys, values)
+        table.check_invariants()
+        assert table._table == baseline
+        assert sorted(table._assistant.pairs()) == baseline_pairs
+        assert len(table) == 0
 
     def test_rejected_batch_leaves_table_untouched(self):
         table = VisionEmbedder(

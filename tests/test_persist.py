@@ -6,8 +6,18 @@ import random
 import numpy as np
 import pytest
 
-from repro.core import EmbedderConfig, VisionEmbedder
-from repro.core.persist import load_embedder, save_embedder
+from repro.core import (
+    CorruptSnapshotError,
+    EmbedderConfig,
+    ShardedEmbedder,
+    VisionEmbedder,
+)
+from repro.core.persist import (
+    load_embedder,
+    load_sharded,
+    save_embedder,
+    save_sharded,
+)
 
 
 def _filled(n=400, value_bits=8, seed=5, config=None):
@@ -96,6 +106,105 @@ class TestRoundTrip:
         assert len(loaded) == 0
         loaded.insert(1, 2)
         assert loaded.lookup(1) == 2
+
+
+def _rewrite_npz(path, out_path, mutate):
+    """Round-trip an npz through a member-level mutation."""
+    with np.load(path) as archive:
+        contents = {name: archive[name] for name in archive.files}
+    mutate(contents)
+    np.savez(out_path, **contents)
+
+
+class TestCorruption:
+    """Unreadable snapshots surface as the typed CorruptSnapshotError
+    (a ValueError subclass) carrying source and field context."""
+
+    def test_not_a_zip_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(CorruptSnapshotError) as err:
+            load_embedder(path)
+        assert err.value.source.endswith("garbage.npz")
+
+    def test_truncated_archive(self, tmp_path):
+        table, _ = _filled(n=20)
+        path = tmp_path / "table.npz"
+        save_embedder(table, path)
+        data = path.read_bytes()
+        truncated = tmp_path / "truncated.npz"
+        truncated.write_bytes(data[: len(data) // 3])
+        with pytest.raises(CorruptSnapshotError) as err:
+            load_embedder(truncated)
+        assert err.value.source.endswith("truncated.npz")
+
+    def test_missing_member_names_field(self, tmp_path):
+        table, _ = _filled(n=20)
+        path = tmp_path / "table.npz"
+        save_embedder(table, path)
+        bad = tmp_path / "bad.npz"
+        _rewrite_npz(path, bad, lambda c: c.pop("cells"))
+        with pytest.raises(CorruptSnapshotError) as err:
+            load_embedder(bad)
+        assert err.value.field == "cells"
+
+    def test_short_metadata_vector(self, tmp_path):
+        table, _ = _filled(n=20)
+        path = tmp_path / "table.npz"
+        save_embedder(table, path)
+        bad = tmp_path / "bad.npz"
+
+        def chop(contents):
+            contents["meta"] = contents["meta"][:3].copy()
+
+        _rewrite_npz(path, bad, chop)
+        with pytest.raises(CorruptSnapshotError) as err:
+            load_embedder(bad)
+        assert err.value.field.startswith("meta")
+
+    def test_geometry_mismatch(self, tmp_path):
+        table, _ = _filled(n=20)
+        path = tmp_path / "table.npz"
+        save_embedder(table, path)
+        bad = tmp_path / "bad.npz"
+
+        def shrink(contents):
+            contents["cells"] = contents["cells"][:, :-1].copy()
+
+        _rewrite_npz(path, bad, shrink)
+        with pytest.raises(CorruptSnapshotError) as err:
+            load_embedder(bad)
+        assert err.value.field == "cells"
+
+    def test_corrupt_error_is_still_a_value_error(self, tmp_path):
+        # callers guarding the pre-typed API with `except ValueError`
+        # keep working
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"junk")
+        with pytest.raises(ValueError):
+            load_embedder(path)
+
+    def test_sharded_missing_shard_payload(self, tmp_path):
+        table = ShardedEmbedder(64, 8, num_shards=2, seed=3)
+        for i in range(10):
+            table.insert(i + 1, i % 256)
+        path = tmp_path / "sharded.npz"
+        save_sharded(table, path)
+        bad = tmp_path / "bad.npz"
+        _rewrite_npz(path, bad, lambda c: c.pop("shard_1"))
+        with pytest.raises(CorruptSnapshotError) as err:
+            load_sharded(bad)
+        assert err.value.field == "shard_1"
+
+    def test_sharded_round_trip_still_works(self, tmp_path):
+        table = ShardedEmbedder(64, 8, num_shards=2, seed=3)
+        for i in range(10):
+            table.insert(i + 1, (i * 3) % 256)
+        path = tmp_path / "sharded.npz"
+        save_sharded(table, path)
+        loaded = load_sharded(path)
+        for i in range(10):
+            assert loaded.lookup(i + 1) == (i * 3) % 256
 
 
 class TestValidation:

@@ -25,7 +25,13 @@ import json
 
 import pytest
 
-from repro.core.errors import DuplicateKey, KeyNotFound, SpaceExhausted
+from repro.core.errors import (
+    DuplicateKey,
+    KeyNotFound,
+    ReconstructionFailed,
+    SpaceExhausted,
+    UpdateFailure,
+)
 from repro.core.sharded import ShardedEmbedder
 from repro.obs import MetricsRegistry, parse_prometheus_text
 from repro.serve import (
@@ -42,6 +48,7 @@ from repro.serve import (
     TableServer,
 )
 from repro.serve.protocol import (
+    ServeProtocolError,
     error_response,
     exception_from,
     parse_keys,
@@ -306,10 +313,48 @@ def test_error_table_round_trips(exc, status, code):
     assert type(rebuilt) is type(exc)
 
 
-def test_unknown_error_code_becomes_serve_error():
+def test_unknown_error_code_becomes_protocol_drift_error():
+    # an unrecognised code means server/client version drift — the
+    # typed ServeProtocolError (still a ServeError) says so
     rebuilt = exception_from(418, {"error": "teapot", "detail": "short"})
+    assert isinstance(rebuilt, ServeProtocolError)
     assert isinstance(rebuilt, ServeError)
     assert rebuilt.status == 418
+    assert "teapot" in str(rebuilt)
+
+
+def test_internal_code_stays_plain_serve_error():
+    rebuilt = exception_from(500, {"error": "internal", "detail": "boom"})
+    assert isinstance(rebuilt, ServeError)
+    assert not isinstance(rebuilt, ServeProtocolError)
+
+
+@pytest.mark.parametrize("exc,status,code", [
+    (UpdateFailure("walk budget"), 500, "update_failure"),
+    (ReconstructionFailed("peel stalled"), 507, "reconstruction_failed"),
+    (TypeError("bad key type"), 400, "bad_request"),
+])
+def test_new_error_table_entries_mapped(exc, status, code):
+    got_status, body = error_response(exc)
+    assert got_status == status
+    assert body["error"] == code
+
+
+def test_missing_response_field_raises_protocol_error():
+    from repro.serve.client import _field_int, _field_list
+
+    with pytest.raises(ServeProtocolError):
+        _field_list({"nope": []}, "values")
+    with pytest.raises(ServeProtocolError):
+        _field_list({"values": 3}, "values")
+    with pytest.raises(ServeProtocolError):
+        _field_int({"values": []}, "inserted")
+    with pytest.raises(ServeProtocolError):
+        _field_int({"inserted": True}, "inserted")
+    with pytest.raises(ServeProtocolError):
+        _field_int("not a dict", "inserted")
+    assert _field_int({"inserted": 4}, "inserted") == 4
+    assert _field_list({"values": [1, 2]}, "values") == [1, 2]
 
 
 def test_http_framing_round_trip():
