@@ -64,6 +64,7 @@ class CheckConfig:
         "repro/core/embedder.py",
         "repro/core/engine.py",
         "repro/core/sharded.py",
+        "repro/core/shared_planes.py",
     )
     value_table_writer_prefixes: Tuple[str, ...] = ("repro/baselines/",)
     #: private attributes holding raw cell storage
@@ -147,6 +148,7 @@ class CheckConfig:
         "TableServer._run_inserts",
         "TableServer._insert_pairs",
         "TableServer._run_scalar_writes",
+        "WorkerPool._apply_write",
     )
     #: the table's data-plane API (R604 judges method *calls*; attribute
     #: reads like ``len(self.table)`` or ``table.metrics`` stay free).
@@ -163,6 +165,7 @@ class CheckConfig:
         "repro/core/value_table.py",
         "repro/core/packed_table.py",
         "repro/core/assistant_table.py",
+        "repro/core/shared_planes.py",
     )
     #: methods that derive a *view* (aliasing memory) from an array —
     #: taint propagates through these (R701/R703).

@@ -442,14 +442,55 @@ def _reconstruct_case(backend: str) -> FaultCase:
     )
 
 
+def _shared_planes_case() -> FaultCase:
+    """Promote → reader attach/read → batch insert → demote.
+
+    Sweeps the shared-memory plane lifecycle (segment create, dense
+    promote, reader attach + seqlock reads, the full update path landing
+    in shared storage, demote back to private planes). A fault anywhere
+    must leave the table bit-equal to the pre- or post-insert state —
+    mid-promote faults destroy the partial segments and re-raise
+    (``share_table``), mid-insert faults ride the existing rollback
+    machinery, now through :class:`SharedPlanes` duck methods.
+    """
+    from repro.core.shared_planes import (
+        SharedPlanes,
+        share_table,
+        unshare_table,
+    )
+
+    def operate(table: VisionEmbedder) -> None:
+        spec = share_table(table)
+        try:
+            reader = SharedPlanes.attach(spec.shards[0])
+            try:
+                reader.to_dense()
+                reader.get((0, 3))
+            finally:
+                reader.close()
+            keys, values = _batch_payload(8)
+            table.insert_batch(keys, values)
+        finally:
+            unshare_table(table)
+
+    return FaultCase(
+        name="shared_planes-scalar",
+        build=lambda: _seeded_table("scalar", prefill=24),
+        operate=operate,
+    )
+
+
 def default_cases() -> List[FaultCase]:
     """The canned sweep: batch insert, bulk load, and reconstruct, on
     the scalar and vector backends (reconstruct runs scalar only — its
-    rebuild is backend-independent re-insertion)."""
+    rebuild is backend-independent re-insertion), plus the shared-memory
+    plane lifecycle (promote, reader reads, insert-through-shared,
+    demote)."""
     return [
         _insert_batch_case("scalar"),
         _insert_batch_case("vector"),
         _bulk_load_case("scalar"),
         _bulk_load_case("vector"),
         _reconstruct_case("scalar"),
+        _shared_planes_case(),
     ]

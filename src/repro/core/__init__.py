@@ -13,9 +13,17 @@ from repro.core.errors import (
     ReconstructionFailed,
     KeyNotFound,
     DuplicateKey,
+    SharedPlanesError,
     CorruptSnapshotError,
 )
 from repro.core.value_table import ValueTable
+from repro.core.shared_planes import (
+    SharedPlanes,
+    SharedPlanesSpec,
+    SharedTableSpec,
+    share_table,
+    unshare_table,
+)
 from repro.core.assistant_table import AssistantTable
 from repro.core.engine import (
     HAVE_NUMBA,
@@ -50,8 +58,14 @@ __all__ = [
     "ReconstructionFailed",
     "KeyNotFound",
     "DuplicateKey",
+    "SharedPlanesError",
     "CorruptSnapshotError",
     "ValueTable",
+    "SharedPlanes",
+    "SharedPlanesSpec",
+    "SharedTableSpec",
+    "share_table",
+    "unshare_table",
     "AssistantTable",
     "ArrayAssistant",
     "ExecutionEngine",

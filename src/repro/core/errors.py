@@ -41,6 +41,16 @@ class DuplicateKey(ReproError, ValueError):
     """``insert`` was called for a key that is already present."""
 
 
+class SharedPlanesError(ReproError):
+    """A shared-memory plane segment misbehaved.
+
+    Raised when an attach finds a segment whose header disagrees with the
+    spec (wrong magic, geometry, or size), when a reader exhausts its
+    torn-read retry budget because a writer held the generation odd for
+    too long, or when a reader-role handle is asked to mutate the planes.
+    """
+
+
 class CorruptSnapshotError(ReproError, ValueError):
     """A persisted snapshot could not be read back (truncated file, a
     missing npz member, or a malformed field).

@@ -57,7 +57,7 @@ from repro.hashing import key_to_u64, keys_to_u64_batch
 from repro.obs.registry import MetricsRegistry, aggregate
 from repro.table import Key, ValueOnlyTable
 
-__all__ = ["ShardedEmbedder"]
+__all__ = ["ShardedEmbedder", "route_handle", "route_handles"]
 
 #: 64-bit mask for the scalar router mix.
 _M64 = (1 << 64) - 1
@@ -71,6 +71,44 @@ _MIX_2 = 0xC4CEB9FE1A85EC53
 
 #: Executor kinds accepted by :meth:`ShardedEmbedder.build`.
 _EXECUTORS = ("thread", "process")
+
+
+def route_handle(
+    handle: int, shard_seed: int, num_shards: int
+) -> int:  # repro: hotpath
+    """Shard id of a canonical u64 handle (scalar router mix).
+
+    Module-level so processes that hold only a
+    :class:`~repro.core.shared_planes.SharedTableSpec` (worker processes
+    attached to shared planes) route identically to the owning
+    :class:`ShardedEmbedder` without instantiating one.
+    """
+    h = (handle ^ shard_seed) & _M64
+    h ^= h >> 33
+    h = (h * _MIX_1) & _M64
+    h ^= h >> 33
+    h = (h * _MIX_2) & _M64
+    h ^= h >> 33
+    return h % num_shards
+
+
+def route_handles(  # repro: hotpath
+    handles: npt.NDArray[np.uint64], shard_seed: int, num_shards: int
+) -> npt.NDArray[np.uint8]:
+    """Vectorised router: one shard id per handle.
+
+    The ids come back as ``uint8`` (S <= 256) deliberately — numpy's
+    stable argsort radix-sorts single-byte keys an order of magnitude
+    faster than 8-byte ones, and that sort is the scatter/gather hot
+    path's main overhead.
+    """
+    h = handles ^ np.uint64(shard_seed)
+    h = h ^ (h >> np.uint64(33))
+    h = h * np.uint64(_MIX_1)
+    h = h ^ (h >> np.uint64(33))
+    h = h * np.uint64(_MIX_2)
+    h = h ^ (h >> np.uint64(33))
+    return (h % np.uint64(num_shards)).astype(np.uint8)
 
 
 def _build_shard_payload(
@@ -223,13 +261,7 @@ class ShardedEmbedder(ValueOnlyTable):
 
     def _shard_of_handle(self, handle: int) -> int:  # repro: hotpath
         """Shard id of a canonical u64 handle (scalar router mix)."""
-        h = (handle ^ self._shard_seed) & _M64
-        h ^= h >> 33
-        h = (h * _MIX_1) & _M64
-        h ^= h >> 33
-        h = (h * _MIX_2) & _M64
-        h ^= h >> 33
-        return h % self.num_shards
+        return route_handle(handle, self._shard_seed, self.num_shards)
 
     # repro: raises(ValueError, TypeError)
     def shard_of(self, key: Key) -> int:
@@ -239,20 +271,8 @@ class ShardedEmbedder(ValueOnlyTable):
     def _shard_ids(  # repro: hotpath
         self, handles: npt.NDArray[np.uint64]
     ) -> npt.NDArray[np.uint8]:
-        """Vectorised router: one shard id per handle.
-
-        The ids come back as ``uint8`` (S <= 256) deliberately — numpy's
-        stable argsort radix-sorts single-byte keys an order of magnitude
-        faster than 8-byte ones, and that sort is the scatter/gather hot
-        path's main overhead.
-        """
-        h = handles ^ np.uint64(self._shard_seed)
-        h = h ^ (h >> np.uint64(33))
-        h = h * np.uint64(_MIX_1)
-        h = h ^ (h >> np.uint64(33))
-        h = h * np.uint64(_MIX_2)
-        h = h ^ (h >> np.uint64(33))
-        return (h % np.uint64(self.num_shards)).astype(np.uint8)
+        """Vectorised router (see module-level :func:`route_handles`)."""
+        return route_handles(handles, self._shard_seed, self.num_shards)
 
     def _partition(
         self, handles: npt.NDArray[np.uint64]

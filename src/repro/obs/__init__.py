@@ -29,6 +29,7 @@ from repro.obs.exporters import (
     json_text,
     parse_prometheus_text,
     prometheus_text,
+    registry_from_snapshot,
     write_sidecar,
 )
 from repro.obs.hooks import (
@@ -96,5 +97,6 @@ __all__ = [
     "parse_prometheus_text",
     "json_snapshot",
     "json_text",
+    "registry_from_snapshot",
     "write_sidecar",
 ]

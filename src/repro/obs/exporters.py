@@ -106,6 +106,57 @@ def json_snapshot(registry: MetricsRegistry) -> dict:
     }
 
 
+def registry_from_snapshot(snapshot: dict) -> MetricsRegistry:
+    """Rebuild a registry from a :func:`json_snapshot` dict (the inverse).
+
+    This is how the multi-process serving front merges worker metrics:
+    each worker ships its registries as JSON snapshots over the control
+    pipe, the receiving process revives them with this function and folds
+    them together with :func:`~repro.obs.registry.aggregate`. The revived
+    registry is non-collectable (it represents another process's
+    instruments, not this one's).
+
+    Raises ``ValueError`` on a missing/foreign ``format`` marker or a
+    malformed histogram entry.
+    """
+    marker = snapshot.get("format")
+    if marker != JSON_FORMAT:
+        raise ValueError(
+            f"not a {JSON_FORMAT} snapshot (format={marker!r})"
+        )
+    registry = MetricsRegistry(collectable=False)
+    for name, entry in snapshot.get("counters", {}).items():
+        counter = registry.counter(
+            name, entry.get("help", ""), entry.get("unit", "")
+        )
+        counter.inc(entry["value"])
+    for name, entry in snapshot.get("gauges", {}).items():
+        gauge = registry.gauge(
+            name, entry.get("help", ""), entry.get("unit", "")
+        )
+        gauge.set(entry["value"])
+    for name, entry in snapshot.get("histograms", {}).items():
+        buckets = entry["buckets"]
+        if not buckets or buckets[-1]["le"] != "+Inf":
+            raise ValueError(
+                f"histogram {name!r} snapshot lacks the +Inf bucket"
+            )
+        bounds = [bucket["le"] for bucket in buckets[:-1]]
+        histogram = registry.histogram(
+            name, bounds, entry.get("help", ""), entry.get("unit", "")
+        )
+        counts = [int(bucket["count"]) for bucket in buckets]
+        if len(counts) != len(histogram.counts):
+            raise ValueError(
+                f"histogram {name!r} snapshot has {len(counts)} buckets, "
+                f"expected {len(histogram.counts)}"
+            )
+        histogram.counts = counts
+        histogram.count = int(entry["count"])
+        histogram.sum = entry["sum"]
+    return registry
+
+
 def json_text(registry: MetricsRegistry) -> str:
     return json.dumps(json_snapshot(registry), indent=2) + "\n"
 

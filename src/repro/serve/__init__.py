@@ -29,11 +29,17 @@ Quick start (async)::
 
 Synchronous operators use :class:`ServerThread` + :class:`ServeClient`,
 or ``python -m repro.serve`` for a standalone process.
+
+One event loop is the front's scaling ceiling; :class:`WorkerPool` lifts
+it by forking N per-core worker processes that answer lookups directly
+from shared-memory planes (``--workers`` on the CLI, docs/serving.md
+"Scaling out" for the operator story).
 """
 
 from repro.serve.batcher import BatcherClosed, BatchOp, MicroBatcher, Overloaded
 from repro.serve.client import AsyncServeClient, ServeClient
 from repro.serve.config import ServeConfig
+from repro.serve.pool import WorkerPool, WorkerTable
 from repro.serve.protocol import ProtocolError, ServeError
 from repro.serve.server import ServerThread, TableServer
 
@@ -49,4 +55,6 @@ __all__ = [
     "ServeError",
     "ServerThread",
     "TableServer",
+    "WorkerPool",
+    "WorkerTable",
 ]

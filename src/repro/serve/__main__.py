@@ -18,10 +18,12 @@ import asyncio
 import contextlib
 import signal
 import sys
+import threading
 from typing import List, Optional
 
 from repro.core.sharded import ShardedEmbedder
 from repro.serve.config import ServeConfig
+from repro.serve.pool import WorkerPool
 from repro.serve.server import TableServer
 from repro.table import ValueOnlyTable
 
@@ -62,6 +64,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--loop-lag-ms", type=float, default=5.0,
                         help="event-loop lag sampling interval in ms, "
                              "0 disables the monitor (default 5.0)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes; >1 serves lookups from "
+                             "shared-memory planes across per-core "
+                             "TableServer processes (default 1)")
     return parser
 
 
@@ -70,9 +76,16 @@ def _make_table(args: argparse.Namespace) -> ValueOnlyTable:
         from repro.core.persist import load_embedder, load_sharded
 
         try:
-            return load_sharded(args.load)
+            table: ValueOnlyTable = load_sharded(args.load)
         except (KeyError, ValueError):
-            return load_embedder(args.load)
+            table = load_embedder(args.load)
+            print(f"restored scalar snapshot from {args.load} "
+                  f"(keys={len(table)})")
+        else:
+            shards = getattr(table, "num_shards", 1)
+            print(f"restored sharded snapshot from {args.load} "
+                  f"(shards={shards}, keys={len(table)})")
+        return table
     return ShardedEmbedder(
         capacity=args.capacity, value_bits=args.value_bits,
         num_shards=args.shards, seed=args.seed,
@@ -96,6 +109,29 @@ async def _serve(table: ValueOnlyTable, config: ServeConfig) -> None:
     print("bye")
 
 
+def _serve_pool(table: ValueOnlyTable, config: ServeConfig,
+                workers: int) -> None:
+    pool = WorkerPool(table, workers=workers, config=config)
+    pool.start()
+    print(f"repro.serve pool listening on "
+          f"http://{config.host}:{pool.port} (workers={workers}, "
+          f"socket={pool.socket_mode}, keys={len(table)}, "
+          f"window={config.batch_window_ms}ms)")
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _on_signal)
+    try:
+        stop.wait()
+        print("draining...")
+    finally:
+        pool.stop()
+    print("bye")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     config = ServeConfig(
@@ -105,9 +141,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     if args.no_batching:
         config = config.unbatched()
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
     table = _make_table(args)
     try:
-        asyncio.run(_serve(table, config))
+        if args.workers > 1:
+            _serve_pool(table, config, args.workers)
+        else:
+            asyncio.run(_serve(table, config))
     except KeyboardInterrupt:  # pragma: no cover - signal-handler race
         pass
     return 0

@@ -43,8 +43,18 @@ requests, then closes connections. docs/serving.md is the operator guide.
 from __future__ import annotations
 
 import asyncio
+import socket
 import threading
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import (
+    Any,
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.errors import ReproError, SpaceExhausted
 from repro.obs.exporters import json_snapshot, prometheus_text
@@ -109,6 +119,20 @@ class TableServer:
         self._batch_inserter: Optional[Callable[..., Any]] = getattr(
             table, "insert_batch", None
         )
+        # update_batch, when present, coalesces one request's updates into
+        # a single table call (the worker-pool table turns it into one
+        # owner round-trip instead of one per key). Same per-request
+        # isolation as the scalar loop: a failure mid-request may leave
+        # that request's earlier keys applied.
+        self._batch_updater: Optional[Callable[..., Any]] = getattr(
+            table, "update_batch", None
+        )
+        # Multi-process hook (see repro.serve.pool): when set, /stats and
+        # /metrics await it for the *other* processes' registries and fold
+        # them into the merged view, so one scrape covers the whole pool.
+        self.cluster_collect: Optional[
+            Callable[[], Awaitable[List[MetricsRegistry]]]
+        ] = None
         self.config = config if config is not None else ServeConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         self._batcher = MicroBatcher(
@@ -182,13 +206,25 @@ class TableServer:
     def draining(self) -> bool:
         return self._draining
 
-    async def start(self) -> None:
-        """Bind and start accepting connections."""
+    async def start(self, sock: Optional[socket.socket] = None) -> None:
+        """Bind and start accepting connections.
+
+        With ``sock`` the server accepts on that already-bound socket
+        instead of binding ``config.host:config.port`` itself — the
+        worker-pool front passes each worker its own ``SO_REUSEPORT``
+        socket (or one shared pre-fork listener) this way.
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
-        self._server = await asyncio.start_server(
-            self._on_connection, host=self.config.host, port=self.config.port
-        )
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection,
+                host=self.config.host, port=self.config.port,
+            )
         if self._lag_enabled:
             self.loop_lag.start()
 
@@ -312,9 +348,11 @@ class TableServer:
             if path == "/healthz":
                 return self._ok(self._health_payload())
             if path == "/stats":
-                return self._ok(self._stats_payload())
+                extra = await self._cluster_registries()
+                return self._ok(self._stats_payload(extra))
             if path == "/metrics":
-                text = prometheus_text(self._merged_registry())
+                extra = await self._cluster_registries()
+                text = prometheus_text(self._merged_registry(extra))
                 return 200, text.encode("utf-8"), "text/plain; version=0.0.4"
             raise ServeError(f"no such endpoint {path!r}", status=404,
                              code="not_found")
@@ -438,15 +476,21 @@ class TableServer:
         self, kind: str, run: List[BatchOp]
     ) -> List[Any]:
         """Updates/deletes: per-key scalar ops, failures isolated per
-        request. No batch primitive exists for these; a failure mid-request
-        leaves that request's earlier keys applied (documented semantics —
-        the error's detail names the offending key)."""
+        request. A failure mid-request leaves that request's earlier keys
+        applied (documented semantics — the error's detail names the
+        offending key). Updates take the table's ``update_batch`` when it
+        offers one — same semantics, one call per request."""
         out: List[Any] = []
         for op in run:
             try:
                 if kind == "update":
-                    for key, value in zip(op.keys, op.values or ()):
-                        self.table.update(key, value)
+                    if self._batch_updater is not None:
+                        self._batch_updater(
+                            list(op.keys), list(op.values or ())
+                        )
+                    else:
+                        for key, value in zip(op.keys, op.values or ()):
+                            self.table.update(key, value)
                 else:
                     for key in op.keys:
                         self.table.delete(key)
@@ -459,8 +503,16 @@ class TableServer:
     # Introspection payloads
     # ------------------------------------------------------------------
 
-    def _merged_registry(self) -> MetricsRegistry:
-        return aggregate([self.registry, self.table.metrics])
+    async def _cluster_registries(self) -> List[MetricsRegistry]:
+        """The other pool processes' registries (empty when standalone)."""
+        if self.cluster_collect is None:
+            return []
+        return await self.cluster_collect()
+
+    def _merged_registry(
+        self, extra: Sequence[MetricsRegistry] = ()
+    ) -> MetricsRegistry:
+        return aggregate([self.registry, self.table.metrics, *extra])
 
     def _health_payload(self) -> Dict[str, Any]:
         return {
@@ -470,9 +522,11 @@ class TableServer:
             "connections": len(self._writers),
         }
 
-    def _stats_payload(self) -> Dict[str, Any]:
+    def _stats_payload(
+        self, extra: Sequence[MetricsRegistry] = ()
+    ) -> Dict[str, Any]:
         self._queue_depth.set(self._batcher.depth)
-        snapshot = json_snapshot(self._merged_registry())
+        snapshot = json_snapshot(self._merged_registry(extra))
         latency: Dict[str, float] = {}
         if self._latency.count:
             latency = {
